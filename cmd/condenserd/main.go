@@ -1,0 +1,83 @@
+// Command condenserd runs the condensation HTTP service: a data-collection
+// endpoint that ingests records incrementally (the paper's dynamic
+// setting), retains only per-group aggregate statistics, and serves
+// anonymized snapshots, statistics, and binary checkpoints.
+//
+// Usage:
+//
+//	condenserd -addr :8080 -dim 7 -k 25
+//	condenserd -addr :8080 -resume checkpoint.bin
+//
+// Endpoints: POST /v1/records, GET /v1/snapshot, GET /v1/stats,
+// GET /v1/checkpoint, GET /healthz (see internal/server).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"condensation/internal/core"
+	"condensation/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr, func(addr string, h http.Handler) error {
+		srv := &http.Server{
+			Addr:              addr,
+			Handler:           h,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		return srv.ListenAndServe()
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "condenserd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the server and hands it to serve; serve is injected so tests
+// can intercept the handler instead of binding a port.
+func run(args []string, stderr io.Writer, serve func(addr string, h http.Handler) error) error {
+	fs := flag.NewFlagSet("condenserd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr   = fs.String("addr", ":8080", "listen address")
+		dim    = fs.Int("dim", 0, "record dimensionality (required unless -resume)")
+		k      = fs.Int("k", 10, "indistinguishability level")
+		seed   = fs.Uint64("seed", 1, "random seed for split-axis decisions")
+		batch  = fs.Int("batch", 10000, "maximum records per POST")
+		resume = fs.String("resume", "", "checkpoint file to restore state from")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := server.Config{Dim: *dim, K: *k, Seed: *seed, MaxBatch: *batch}
+	if *resume != "" {
+		f, err := os.Open(*resume)
+		if err != nil {
+			return err
+		}
+		cond, err := core.ReadCondensation(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("restoring %s: %w", *resume, err)
+		}
+		cfg.Initial = cond
+		fmt.Fprintf(stderr, "restored %d records in %d groups (k=%d, dim=%d) from %s\n",
+			cond.TotalCount(), cond.NumGroups(), cond.K(), cond.Dim(), *resume)
+	} else if *dim < 1 {
+		fs.Usage()
+		return fmt.Errorf("-dim is required when not resuming from a checkpoint")
+	}
+
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "condenserd listening on %s\n", *addr)
+	return serve(*addr, s)
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"condensation/internal/core"
+	"condensation/internal/mat"
+	"condensation/internal/rng"
+)
+
+// capture runs run() with a serve function that records the handler
+// instead of listening.
+func capture(t *testing.T, args []string) (http.Handler, error) {
+	t.Helper()
+	var handler http.Handler
+	err := run(args, &bytes.Buffer{}, func(addr string, h http.Handler) error {
+		handler = h
+		return nil
+	})
+	return handler, err
+}
+
+func TestRunFresh(t *testing.T) {
+	h, err := capture(t, []string{"-dim", "3", "-k", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestRunResume(t *testing.T) {
+	// Build and persist a condensation, then resume from it.
+	r := rng.New(1)
+	recs := make([]mat.Vector, 30)
+	for i := range recs {
+		recs[i] = mat.Vector{r.Norm(), r.Norm()}
+	}
+	cond, err := core.Static(recs, 5, r, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cond.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	h, err := capture(t, []string{"-resume", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Records int `json:"records"`
+		K       int `json:"k"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 30 || stats.K != 5 {
+		t.Errorf("resumed stats %+v", stats)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                          // no dim, no resume
+		{"-dim", "0"},               // bad dim
+		{"-dim", "2", "-k", "0"},    // bad k
+		{"-resume", "/nonexistent"}, // missing checkpoint
+	}
+	for _, args := range cases {
+		if _, err := capture(t, args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunResumeCorruptCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.bin")
+	if err := os.WriteFile(path, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, []string{"-resume", path}); err == nil {
+		t.Error("corrupt checkpoint accepted")
+	}
+}

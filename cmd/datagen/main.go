@@ -1,0 +1,75 @@
+// Command datagen emits the synthetic UCI-equivalent data sets used by the
+// experiment harness (ionosphere, ecoli, pima, abalone) as CSV.
+//
+// Usage:
+//
+//	datagen -name pima -seed 7 -out pima.csv
+//	datagen -name all -out .          # writes <name>.csv per data set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"condensation/internal/datagen"
+	"condensation/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		name = fs.String("name", "", "data set: ionosphere, ecoli, pima, abalone, or all")
+		seed = fs.Uint64("seed", 1, "random seed")
+		out  = fs.String("out", "-", "output CSV file, directory (with -name all), or \"-\" for stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		fs.Usage()
+		return fmt.Errorf("-name is required")
+	}
+
+	if *name == "all" {
+		if *out == "-" {
+			return fmt.Errorf("-name all needs -out to be a directory")
+		}
+		for _, n := range datagen.Names() {
+			path := filepath.Join(*out, n+".csv")
+			if err := writeOne(n, *seed, path, stdout); err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "wrote %s\n", path)
+		}
+		return nil
+	}
+	return writeOne(*name, *seed, *out, stdout)
+}
+
+func writeOne(name string, seed uint64, out string, stdout io.Writer) error {
+	ds, err := datagen.ByName(name, seed)
+	if err != nil {
+		return err
+	}
+	w := stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return dataset.WriteCSV(w, ds)
+}

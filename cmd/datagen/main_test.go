@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"condensation/internal/dataset"
+)
+
+func TestRunSingleToStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-name", "ecoli", "-seed", "3"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.ReadCSV(&stdout, "ecoli", dataset.Classification)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 336 {
+		t.Errorf("emitted %d records, want 336", ds.Len())
+	}
+}
+
+func TestRunSingleToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pima.csv")
+	if err := run([]string{"-name", "pima", "-out", path}, &bytes.Buffer{}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "pregnancies,") {
+		t.Errorf("header: %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	dir := t.TempDir()
+	var stderr bytes.Buffer
+	if err := run([]string{"-name", "all", "-out", dir}, &bytes.Buffer{}, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"ionosphere", "ecoli", "pima", "abalone"} {
+		if _, err := os.Stat(filepath.Join(dir, name+".csv")); err != nil {
+			t.Errorf("%s.csv missing: %v", name, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-name", "bogus"},
+		{"-name", "all"}, // all needs a directory
+		{"-name", "pima", "-out", "/nonexistent/dir/out.csv"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFigureText(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-fig", "6b", "-sizes", "5,10", "-reps", "1"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "Figure 6b") || !strings.Contains(out, "static_mu") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunFigureCSV(t *testing.T) {
+	var stdout bytes.Buffer
+	err := run([]string{"-fig", "6b", "-sizes", "5", "-reps", "1", "-format", "csv"}, &stdout, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "k,avg_group_size") {
+		t.Errorf("csv output:\n%s", stdout.String())
+	}
+}
+
+func TestRunStudies(t *testing.T) {
+	// Ecoli is the smallest data set; keep parameters tiny.
+	for _, study := range []string{"ablation-split", "ablation-synthesis", "ablation-leftover", "kanon", "attack", "clustering"} {
+		var stdout bytes.Buffer
+		err := run([]string{"-study", study, "-dataset", "ecoli", "-sizes", "10", "-reps", "1"},
+			&stdout, &bytes.Buffer{})
+		if err != nil {
+			t.Fatalf("%s: %v", study, err)
+		}
+		if stdout.Len() == 0 {
+			t.Errorf("%s: no output", study)
+		}
+	}
+}
+
+func TestRunPerturbationStudy(t *testing.T) {
+	var stdout bytes.Buffer
+	err := run([]string{"-study", "perturbation", "-dataset", "ecoli", "-sizes", "10", "-reps", "1"},
+		&stdout, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "perturbation") {
+		t.Errorf("output:\n%s", stdout.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                   // neither -fig nor -study
+		{"-fig", "5a", "-study", "attack"},   // both
+		{"-fig", "99z"},                      // unknown figure
+		{"-study", "bogus"},                  // unknown study
+		{"-study", "attack", "-dataset", "bogus"},
+		{"-fig", "6b", "-sizes", "zero"},     // bad sizes
+		{"-fig", "6b", "-sizes", "-3"},       // negative size
+		{"-fig", "6b", "-sizes", "5", "-reps", "1", "-format", "bogus"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes(" 2, 5 ,10 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 2 || got[2] != 10 {
+		t.Errorf("parseSizes = %v", got)
+	}
+	if _, err := parseSizes(""); err == nil {
+		t.Error("empty sizes accepted")
+	}
+	if _, err := parseSizes(","); err == nil {
+		t.Error("only separators accepted")
+	}
+}
+
+func TestRunMiningStudies(t *testing.T) {
+	for _, study := range []string{"tree", "assoc"} {
+		var stdout bytes.Buffer
+		err := run([]string{"-study", study, "-dataset", "ecoli", "-sizes", "10", "-reps", "1"},
+			&stdout, &bytes.Buffer{})
+		if err != nil {
+			t.Fatalf("%s: %v", study, err)
+		}
+		if stdout.Len() == 0 {
+			t.Errorf("%s: no output", study)
+		}
+	}
+}
+
+func TestRunScalingAndFidelity(t *testing.T) {
+	var stdout bytes.Buffer
+	if err := run([]string{"-study", "fidelity", "-dataset", "ecoli", "-sizes", "10", "-reps", "1"}, &stdout, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if stdout.Len() == 0 {
+		t.Error("fidelity: no output")
+	}
+}

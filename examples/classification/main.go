@@ -1,0 +1,62 @@
+// Classification: the paper's headline experiment in miniature. A
+// nearest-neighbour classifier — completely unmodified — is trained once
+// on the original Pima-equivalent data and once on its condensation-
+// anonymized counterpart, at several privacy levels, and both are scored
+// on the same untouched test set. The anonymized accuracy tracks (and for
+// some group sizes exceeds, via noise removal) the original accuracy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"condensation/internal/core"
+	"condensation/internal/datagen"
+	"condensation/internal/knn"
+	"condensation/internal/metrics"
+	"condensation/internal/rng"
+)
+
+func main() {
+	r := rng.New(7)
+	ds := datagen.Pima(7)
+	train, test, err := ds.TrainTestSplit(0.75, r.Split())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reference: 1-NN on the original training data.
+	clf, err := knn.NewClassifier(train, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	preds, err := clf.PredictAll(test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	origAcc, _ := metrics.Accuracy(preds, test.Labels)
+	fmt.Printf("%-28s accuracy %.4f\n", "original data", origAcc)
+
+	// Anonymized at increasing privacy levels.
+	for _, k := range []int{5, 15, 30, 50} {
+		anon, report, err := core.Anonymize(train, core.AnonymizeConfig{
+			K:    k,
+			Mode: core.ModeStatic,
+		}, r.Split())
+		if err != nil {
+			log.Fatal(err)
+		}
+		clf, err := knn.NewClassifier(anon, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		preds, err := clf.PredictAll(test)
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc, _ := metrics.Accuracy(preds, test.Labels)
+		fmt.Printf("condensed k=%-3d (avg %.1f)   accuracy %.4f\n",
+			k, report.AvgGroupSize(), acc)
+	}
+	fmt.Println("\nno classifier modification was needed — the anonymized data is a drop-in replacement")
+}

@@ -1,0 +1,83 @@
+// Mining: two more unmodified data mining algorithms — a CART decision
+// tree and Apriori association-rule mining — running directly on
+// condensation-anonymized data. The paper's perturbation-based rival
+// needed a bespoke algorithm redesign for each of these problems
+// (classification in Agrawal–Srikant 2000, association rules in
+// Evfimievski et al. 2002 and Rizvi–Haritsa 2002); with condensation the
+// standard implementations consume the anonymized records as-is.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"condensation/internal/assoc"
+	"condensation/internal/core"
+	"condensation/internal/datagen"
+	"condensation/internal/dataset"
+	"condensation/internal/discretize"
+	"condensation/internal/rng"
+	"condensation/internal/tree"
+)
+
+func main() {
+	r := rng.New(31)
+	ds := datagen.Pima(31)
+	train, test, err := ds.TrainTestSplit(0.75, r.Split())
+	if err != nil {
+		log.Fatal(err)
+	}
+	anon, _, err := core.Anonymize(train, core.AnonymizeConfig{K: 15, Mode: core.ModeStatic}, r.Split())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Decision tree — same code path for both training sets.
+	for _, tc := range []struct {
+		name string
+		data *dataset.Dataset
+	}{{"original", train}, {"anonymized k=15", anon}} {
+		clf, err := tree.Train(tc.data, tree.Options{MaxDepth: 6, MinLeaf: 10})
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc, err := clf.Accuracy(test)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("decision tree on %-16s accuracy %.4f (%d nodes, depth %d)\n",
+			tc.name, acc, clf.Nodes(), clf.Depth())
+	}
+
+	// 2. Association rules — discretize, mine, compare rule sets.
+	mine := func(data *dataset.Dataset) []assoc.Rule {
+		dz, err := discretize.EquiDepth(data.X, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		txs, err := dz.ItemsAll(data.X)
+		if err != nil {
+			log.Fatal(err)
+		}
+		freq, err := assoc.Apriori(txs, 0.15)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rules, err := assoc.Rules(freq, 0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rules
+	}
+	origRules := mine(train)
+	anonRules := mine(anon)
+	fmt.Printf("\nassociation rules: %d from original, %d from anonymized, Jaccard %.3f\n",
+		len(origRules), len(anonRules), assoc.RuleSetJaccard(origRules, anonRules))
+	show := len(origRules)
+	if show > 3 {
+		show = 3
+	}
+	for _, rule := range origRules[:show] {
+		fmt.Printf("  top original rule: %v\n", rule)
+	}
+}

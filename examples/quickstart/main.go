@@ -1,0 +1,56 @@
+// Quickstart: condense a small data set into groups of k records,
+// synthesize anonymized records from the retained group statistics, and
+// show that the anonymized data preserves the mean and covariance
+// structure while making individual records k-indistinguishable.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"condensation/internal/core"
+	"condensation/internal/mat"
+	"condensation/internal/metrics"
+	"condensation/internal/rng"
+	"condensation/internal/stats"
+)
+
+func main() {
+	// A toy data set: 200 records with strongly correlated attributes
+	// (income ≈ 2×tenure + noise) — exactly the structure per-dimension
+	// perturbation destroys and condensation keeps.
+	r := rng.New(42)
+	records := make([]mat.Vector, 200)
+	for i := range records {
+		tenure := r.Uniform(0, 30)
+		income := 2*tenure + r.NormMeanStd(30, 3)
+		records[i] = mat.Vector{tenure, income}
+	}
+
+	// Condense with indistinguishability level k = 20: every record
+	// becomes statistically indistinguishable from at least 19 others.
+	const k = 20
+	cond, err := core.Static(records, k, r.Split(), core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("condensed %d records into %d groups (min size %d, avg %.1f)\n",
+		cond.TotalCount(), cond.NumGroups(), cond.MinGroupSize(), cond.AverageGroupSize())
+
+	// Regenerate anonymized records from the group statistics alone.
+	anonymized, err := cond.Synthesize(r.Split())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The anonymized data is a drop-in replacement: compare moments.
+	origMean, _ := stats.MeanVector(records)
+	anonMean, _ := stats.MeanVector(anonymized)
+	mu, err := metrics.CovarianceCompatibility(records, anonymized)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("original mean   [%.2f %.2f]\n", origMean[0], origMean[1])
+	fmt.Printf("anonymized mean [%.2f %.2f]\n", anonMean[0], anonMean[1])
+	fmt.Printf("covariance compatibility µ = %.4f (1.0 = identical structure)\n", mu)
+}

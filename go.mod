@@ -1,0 +1,3 @@
+module condensation
+
+go 1.22

@@ -1,0 +1,254 @@
+package assoc
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"condensation/internal/rng"
+)
+
+// classic market-basket toy: {1,2} co-occur strongly.
+func basketData() [][]int {
+	return [][]int{
+		{1, 2, 3},
+		{1, 2},
+		{1, 2, 4},
+		{1, 3},
+		{2, 4},
+		{1, 2, 3},
+	}
+}
+
+func supportOf(frequent []Frequent, items ...int) (float64, bool) {
+	want := ItemSet(items)
+	for _, f := range frequent {
+		if reflect.DeepEqual(f.Items, want) {
+			return f.Support, true
+		}
+	}
+	return 0, false
+}
+
+func TestAprioriKnownSupports(t *testing.T) {
+	freq, err := Apriori(basketData(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		items []int
+		sup   float64
+	}{
+		{[]int{1}, 5.0 / 6},
+		{[]int{2}, 5.0 / 6},
+		{[]int{1, 2}, 4.0 / 6},
+	}
+	for _, tc := range cases {
+		got, ok := supportOf(freq, tc.items...)
+		if !ok {
+			t.Errorf("itemset %v not found", tc.items)
+			continue
+		}
+		if math.Abs(got-tc.sup) > 1e-12 {
+			t.Errorf("support(%v) = %g, want %g", tc.items, got, tc.sup)
+		}
+	}
+	// {3} has support 1/2 exactly — included at minSupport 0.5.
+	if _, ok := supportOf(freq, 3); !ok {
+		t.Error("itemset {3} at exactly minSupport excluded")
+	}
+	// {4} has support 1/3 — excluded.
+	if _, ok := supportOf(freq, 4); ok {
+		t.Error("itemset {4} below minSupport included")
+	}
+}
+
+func TestAprioriDownwardClosure(t *testing.T) {
+	freq, err := Apriori(basketData(), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every subset of a frequent itemset must itself be frequent.
+	index := map[string]bool{}
+	for _, f := range freq {
+		index[f.Items.key()] = true
+	}
+	for _, f := range freq {
+		if len(f.Items) < 2 {
+			continue
+		}
+		for skip := range f.Items {
+			var sub ItemSet
+			for i, it := range f.Items {
+				if i != skip {
+					sub = append(sub, it)
+				}
+			}
+			if !index[sub.key()] {
+				t.Errorf("frequent %v has infrequent subset %v", f.Items, sub)
+			}
+		}
+	}
+}
+
+func TestAprioriMatchesBruteForce(t *testing.T) {
+	r := rng.New(1)
+	const nTx, nItems = 60, 6
+	txs := make([][]int, nTx)
+	for i := range txs {
+		for item := 0; item < nItems; item++ {
+			if r.Bool(0.4) {
+				txs[i] = append(txs[i], item)
+			}
+		}
+	}
+	const minSup = 0.2
+	freq, err := Apriori(txs, minSup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]float64{}
+	for _, f := range freq {
+		got[f.Items.key()] = f.Support
+	}
+	// Brute force over all 2^6−1 itemsets.
+	for mask := 1; mask < 1<<nItems; mask++ {
+		var set ItemSet
+		for item := 0; item < nItems; item++ {
+			if mask&(1<<item) != 0 {
+				set = append(set, item)
+			}
+		}
+		count := 0
+		for _, tx := range txs {
+			if containsAll(tx, set) {
+				count++
+			}
+		}
+		sup := float64(count) / nTx
+		if sup >= minSup {
+			if g, ok := got[set.key()]; !ok {
+				t.Errorf("missing frequent set %v (support %g)", set, sup)
+			} else if math.Abs(g-sup) > 1e-12 {
+				t.Errorf("support(%v) = %g, want %g", set, g, sup)
+			}
+		} else if _, ok := got[set.key()]; ok {
+			t.Errorf("infrequent set %v reported", set)
+		}
+	}
+}
+
+func TestAprioriDuplicateItemsInTransaction(t *testing.T) {
+	freq, err := Apriori([][]int{{1, 1, 1}, {1}}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, ok := supportOf(freq, 1)
+	if !ok || sup != 1 {
+		t.Errorf("support(1) = %g, want 1 (duplicates collapse)", sup)
+	}
+}
+
+func TestAprioriErrors(t *testing.T) {
+	if _, err := Apriori(nil, 0.5); err == nil {
+		t.Error("no transactions accepted")
+	}
+	if _, err := Apriori([][]int{{1}}, 0); err == nil {
+		t.Error("minSupport 0 accepted")
+	}
+	if _, err := Apriori([][]int{{1}}, 1.5); err == nil {
+		t.Error("minSupport > 1 accepted")
+	}
+}
+
+func TestRulesConfidenceAndLift(t *testing.T) {
+	freq, err := Apriori(basketData(), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := Rules(freq, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rule {1} ⇒ {2}: support 4/6, antecedent 5/6, confidence 0.8,
+	// lift = 0.8 / (5/6) = 0.96.
+	found := false
+	for _, r := range rules {
+		if reflect.DeepEqual(r.Antecedent, ItemSet{1}) && reflect.DeepEqual(r.Consequent, ItemSet{2}) {
+			found = true
+			if math.Abs(r.Confidence-0.8) > 1e-12 {
+				t.Errorf("confidence = %g, want 0.8", r.Confidence)
+			}
+			if math.Abs(r.Lift-0.96) > 1e-12 {
+				t.Errorf("lift = %g, want 0.96", r.Lift)
+			}
+		}
+		if r.Confidence < 0.7 {
+			t.Errorf("rule %v below confidence threshold", r)
+		}
+	}
+	if !found {
+		t.Error("rule {1} => {2} not generated")
+	}
+}
+
+func TestRulesSortedByConfidence(t *testing.T) {
+	freq, err := Apriori(basketData(), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := Rules(freq, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rules); i++ {
+		if rules[i].Confidence > rules[i-1].Confidence {
+			t.Fatal("rules not sorted by confidence")
+		}
+	}
+}
+
+func TestRulesErrors(t *testing.T) {
+	if _, err := Rules(nil, 0); err == nil {
+		t.Error("confidence 0 accepted")
+	}
+	if _, err := Rules(nil, 2); err == nil {
+		t.Error("confidence 2 accepted")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{Antecedent: ItemSet{1}, Consequent: ItemSet{2}, Support: 0.5, Confidence: 0.8, Lift: 1.2}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestRuleSetJaccard(t *testing.T) {
+	a := []Rule{{Antecedent: ItemSet{1}, Consequent: ItemSet{2}}}
+	b := []Rule{{Antecedent: ItemSet{1}, Consequent: ItemSet{2}}, {Antecedent: ItemSet{3}, Consequent: ItemSet{4}}}
+	if got := RuleSetJaccard(a, a); got != 1 {
+		t.Errorf("Jaccard(a,a) = %g", got)
+	}
+	if got := RuleSetJaccard(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Jaccard(a,b) = %g, want 0.5", got)
+	}
+	if got := RuleSetJaccard(nil, nil); got != 1 {
+		t.Errorf("Jaccard(∅,∅) = %g, want 1", got)
+	}
+	if got := RuleSetJaccard(a, nil); got != 0 {
+		t.Errorf("Jaccard(a,∅) = %g, want 0", got)
+	}
+}
+
+func TestContainsAll(t *testing.T) {
+	if !containsAll([]int{1, 3, 5}, []int{1, 5}) {
+		t.Error("subset not found")
+	}
+	if containsAll([]int{1, 3, 5}, []int{2}) {
+		t.Error("non-member found")
+	}
+	if !containsAll([]int{1}, nil) {
+		t.Error("empty set not contained")
+	}
+}

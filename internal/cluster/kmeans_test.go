@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"condensation/internal/mat"
+	"condensation/internal/rng"
+)
+
+func blobs(seed uint64, perBlob int, centers []mat.Vector) []mat.Vector {
+	r := rng.New(seed)
+	var out []mat.Vector
+	for _, c := range centers {
+		for i := 0; i < perBlob; i++ {
+			x := c.Clone()
+			for j := range x {
+				x[j] += 0.5 * r.Norm()
+			}
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	truth := []mat.Vector{{0, 0}, {10, 0}, {0, 10}}
+	recs := blobs(1, 50, truth)
+	res, err := KMeans(recs, 3, rng.New(2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 3 || len(res.Assign) != len(recs) {
+		t.Fatalf("result shape wrong: %d centers, %d assignments", len(res.Centers), len(res.Assign))
+	}
+	dist, err := MatchCenters(truth, res.Centers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist > 0.5 {
+		t.Errorf("mean center error %g, want < 0.5", dist)
+	}
+}
+
+func TestKMeansInertiaDecreasesWithK(t *testing.T) {
+	recs := blobs(3, 40, []mat.Vector{{0, 0}, {8, 8}})
+	var prev float64 = math.Inf(1)
+	for _, k := range []int{1, 2, 4} {
+		res, err := KMeans(recs, k, rng.New(4), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Inertia > prev+1e-9 {
+			t.Errorf("k=%d: inertia %g exceeds k-1 value %g", k, res.Inertia, prev)
+		}
+		prev = res.Inertia
+	}
+}
+
+func TestKMeansAssignmentsConsistent(t *testing.T) {
+	recs := blobs(5, 30, []mat.Vector{{0, 0}, {9, 9}})
+	res, err := KMeans(recs, 2, rng.New(6), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range recs {
+		a := res.Assign[i]
+		da := x.DistSq(res.Centers[a])
+		for c := range res.Centers {
+			if x.DistSq(res.Centers[c]) < da-1e-9 {
+				t.Fatalf("record %d assigned to non-nearest center", i)
+			}
+		}
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	recs := []mat.Vector{{0, 0}, {1, 1}, {2, 2}}
+	res, err := KMeans(recs, 3, rng.New(7), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia > 1e-9 {
+		t.Errorf("k=n inertia %g, want 0", res.Inertia)
+	}
+}
+
+func TestKMeansDuplicateRecords(t *testing.T) {
+	recs := []mat.Vector{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	res, err := KMeans(recs, 2, rng.New(8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia > 1e-12 {
+		t.Errorf("duplicate-point inertia %g", res.Inertia)
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	recs := blobs(9, 5, []mat.Vector{{0, 0}})
+	if _, err := KMeans(nil, 1, rng.New(1), Options{}); err == nil {
+		t.Error("empty records accepted")
+	}
+	if _, err := KMeans(recs, 0, rng.New(1), Options{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KMeans(recs, 100, rng.New(1), Options{}); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := KMeans(recs, 1, nil, Options{}); err == nil {
+		t.Error("nil source accepted")
+	}
+	ragged := []mat.Vector{{1, 2}, {3}}
+	if _, err := KMeans(ragged, 1, rng.New(1), Options{}); err == nil {
+		t.Error("ragged records accepted")
+	}
+	nan := []mat.Vector{{math.NaN()}}
+	if _, err := KMeans(nan, 1, rng.New(1), Options{}); err == nil {
+		t.Error("NaN records accepted")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	recs := blobs(10, 30, []mat.Vector{{0, 0}, {7, 7}})
+	r1, err := KMeans(recs, 2, rng.New(11), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := KMeans(recs, 2, rng.New(11), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Inertia != r2.Inertia {
+		t.Error("k-means is not deterministic for a fixed seed")
+	}
+}
+
+func TestMatchCentersErrors(t *testing.T) {
+	if _, err := MatchCenters(nil, nil); err == nil {
+		t.Error("empty centers accepted")
+	}
+	if _, err := MatchCenters([]mat.Vector{{1}}, []mat.Vector{{1}, {2}}); err == nil {
+		t.Error("mismatched counts accepted")
+	}
+}
+
+func TestMatchCentersExact(t *testing.T) {
+	a := []mat.Vector{{0, 0}, {5, 5}}
+	b := []mat.Vector{{5, 5}, {0, 0}} // same set, different order
+	d, err := MatchCenters(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("MatchCenters = %g, want 0", d)
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"condensation/internal/mat"
+	"condensation/internal/rng"
+	"condensation/internal/stats"
+)
+
+// Condensation is the output of condensing a set of records: the set H of
+// per-group aggregate statistics. It retains no raw records.
+type Condensation struct {
+	dim    int
+	k      int
+	opts   Options
+	groups []*stats.Group
+}
+
+// newCondensation wraps a set of groups. The groups are owned by the
+// Condensation afterwards.
+func newCondensation(dim, k int, opts Options, groups []*stats.Group) *Condensation {
+	return &Condensation{dim: dim, k: k, opts: opts, groups: groups}
+}
+
+// Dim returns the attribute dimensionality.
+func (c *Condensation) Dim() int { return c.dim }
+
+// K returns the indistinguishability level the condensation was built with.
+func (c *Condensation) K() int { return c.k }
+
+// NumGroups returns the number of condensed groups.
+func (c *Condensation) NumGroups() int { return len(c.groups) }
+
+// TotalCount returns the total number of condensed records across groups.
+func (c *Condensation) TotalCount() int {
+	var n int
+	for _, g := range c.groups {
+		n += g.N()
+	}
+	return n
+}
+
+// AverageGroupSize returns the mean group size — the x-axis of every figure
+// in the paper's evaluation. It returns 0 for an empty condensation.
+func (c *Condensation) AverageGroupSize() float64 {
+	if len(c.groups) == 0 {
+		return 0
+	}
+	return float64(c.TotalCount()) / float64(len(c.groups))
+}
+
+// MinGroupSize returns the smallest group size, which is the effective
+// indistinguishability level actually achieved. It returns 0 for an empty
+// condensation.
+func (c *Condensation) MinGroupSize() int {
+	if len(c.groups) == 0 {
+		return 0
+	}
+	min := c.groups[0].N()
+	for _, g := range c.groups[1:] {
+		if g.N() < min {
+			min = g.N()
+		}
+	}
+	return min
+}
+
+// Groups returns deep copies of the per-group statistics, so callers cannot
+// corrupt the condensation.
+func (c *Condensation) Groups() []*stats.Group {
+	out := make([]*stats.Group, len(c.groups))
+	for i, g := range c.groups {
+		out[i] = g.Clone()
+	}
+	return out
+}
+
+// Centroids returns the centroid of every group.
+func (c *Condensation) Centroids() ([]mat.Vector, error) {
+	out := make([]mat.Vector, len(c.groups))
+	for i, g := range c.groups {
+		m, err := g.Mean()
+		if err != nil {
+			return nil, fmt.Errorf("core: group %d: %w", i, err)
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// Synthesize regenerates an anonymized data set from the group statistics
+// (Section 2.1 of the paper). For each group G it draws n(G) points
+//
+//	x = Y(G) + Σ_j c_j · e_j(G)
+//
+// where Y(G) is the group centroid, e_j are the eigenvectors of the group
+// covariance, and each coordinate c_j is drawn independently with variance
+// λ_j — uniformly on [−√(12λ_j)/2, +√(12λ_j)/2] in the paper's default
+// mode, or as N(0, λ_j) in the Gaussian ablation mode. Negative
+// eigenvalues from floating-point round-off are clamped to zero first.
+//
+// The i-th synthesized point belongs to the group reported at the same
+// index by SynthesizeGrouped; Synthesize concatenates all groups in order.
+func (c *Condensation) Synthesize(r *rng.Source) ([]mat.Vector, error) {
+	grouped, err := c.SynthesizeGrouped(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []mat.Vector
+	for _, g := range grouped {
+		out = append(out, g...)
+	}
+	return out, nil
+}
+
+// SynthesizeGrouped is Synthesize with the output kept per group.
+func (c *Condensation) SynthesizeGrouped(r *rng.Source) ([][]mat.Vector, error) {
+	if r == nil {
+		return nil, errors.New("core: nil random source")
+	}
+	out := make([][]mat.Vector, len(c.groups))
+	for gi, g := range c.groups {
+		pts, err := synthesizeGroup(g, c.opts.Synthesis, r)
+		if err != nil {
+			return nil, fmt.Errorf("core: group %d: %w", gi, err)
+		}
+		out[gi] = pts
+	}
+	return out, nil
+}
+
+// synthesizeGroup draws n(G) anonymized points from one group's statistics.
+func synthesizeGroup(g *stats.Group, mode Synthesis, r *rng.Source) ([]mat.Vector, error) {
+	mean, err := g.Mean()
+	if err != nil {
+		return nil, err
+	}
+	eig, err := g.Eigen()
+	if err != nil {
+		return nil, err
+	}
+	d := g.Dim()
+	// Pre-compute the per-axis half-ranges (uniform) or standard
+	// deviations (Gaussian).
+	spread := make(mat.Vector, d)
+	for j, lambda := range eig.Values {
+		switch mode {
+		case SynthesisUniform:
+			spread[j] = math.Sqrt(12*lambda) / 2 // half of a = √(12λ)
+		case SynthesisGaussian:
+			spread[j] = math.Sqrt(lambda)
+		default:
+			return nil, fmt.Errorf("core: unknown synthesis mode %d", int(mode))
+		}
+	}
+	pts := make([]mat.Vector, g.N())
+	coord := make(mat.Vector, d)
+	for i := range pts {
+		for j := range coord {
+			switch mode {
+			case SynthesisUniform:
+				coord[j] = r.Uniform(-spread[j], spread[j])
+			case SynthesisGaussian:
+				coord[j] = spread[j] * r.Norm()
+			}
+		}
+		// x = mean + P·coord (coord holds the eigenbasis coordinates).
+		x := mean.Clone()
+		x.AddScaled(1, eig.Vectors.MulVec(coord))
+		pts[i] = x
+	}
+	return pts, nil
+}
+
+// Merge combines condensations produced independently (for example by
+// separate collection servers over disjoint record partitions) into one:
+// the union of their condensed groups. Every input must share the
+// dimensionality; the result takes the *smallest* k among the inputs,
+// since that is the weakest indistinguishability level any merged group
+// is guaranteed to meet, and the options of the first input.
+func Merge(conds ...*Condensation) (*Condensation, error) {
+	if len(conds) == 0 {
+		return nil, errors.New("core: nothing to merge")
+	}
+	dim := conds[0].dim
+	k := conds[0].k
+	var groups []*stats.Group
+	for i, c := range conds {
+		if c == nil {
+			return nil, fmt.Errorf("core: merge input %d is nil", i)
+		}
+		if c.dim != dim {
+			return nil, fmt.Errorf("core: merge input %d has dimension %d, want %d", i, c.dim, dim)
+		}
+		if c.k < k {
+			k = c.k
+		}
+		groups = append(groups, c.Groups()...)
+	}
+	return newCondensation(dim, k, conds[0].opts, groups), nil
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"condensation/internal/mat"
+	"condensation/internal/rng"
+	"condensation/internal/stats"
+)
+
+// Dynamic maintains condensed groups over an incremental stream of records
+// (DynamicGroupMaintenance, Figure 2 of the paper). Each arriving record is
+// added to the group with the nearest centroid; as soon as a group reaches
+// 2k records its statistics are split into two groups of k records each
+// (SplitGroupStatistics), so every group holds between k and 2k−1 records
+// in steady state. Only aggregate statistics are retained — never the raw
+// stream records.
+type Dynamic struct {
+	k    int
+	dim  int
+	opts Options
+	r    *rng.Source
+
+	groups    []*stats.Group
+	centroids []mat.Vector // cached, kept in sync with groups
+}
+
+// NewDynamic creates a dynamic condenser seeded from a static condensation
+// of an initial database, per the paper's H = CreateCondensedGroups(k, D)
+// initialization. The Condensation's groups are copied.
+func NewDynamic(initial *Condensation, r *rng.Source) (*Dynamic, error) {
+	if initial == nil {
+		return nil, errors.New("core: nil initial condensation")
+	}
+	if r == nil {
+		return nil, errors.New("core: nil random source")
+	}
+	d := &Dynamic{
+		k:      initial.k,
+		dim:    initial.dim,
+		opts:   initial.opts,
+		r:      r,
+		groups: initial.Groups(),
+	}
+	d.centroids = make([]mat.Vector, len(d.groups))
+	for i, g := range d.groups {
+		m, err := g.Mean()
+		if err != nil {
+			return nil, fmt.Errorf("core: initial group %d: %w", i, err)
+		}
+		d.centroids[i] = m
+	}
+	return d, nil
+}
+
+// NewDynamicEmpty creates a dynamic condenser with no initial database.
+// The first arriving record founds the first group. Until the first group
+// reaches k records the structure cannot guarantee k-indistinguishability;
+// the paper's setting always provides an initial database, so this
+// constructor exists for pure-stream deployments and tests.
+func NewDynamicEmpty(dim, k int, opts Options, r *rng.Source) (*Dynamic, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if dim < 1 {
+		return nil, fmt.Errorf("core: dimension %d, must be ≥ 1", dim)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: indistinguishability level k = %d, must be ≥ 1", k)
+	}
+	if r == nil {
+		return nil, errors.New("core: nil random source")
+	}
+	return &Dynamic{k: k, dim: dim, opts: opts, r: r}, nil
+}
+
+// K returns the indistinguishability level.
+func (d *Dynamic) K() int { return d.k }
+
+// Dim returns the attribute dimensionality.
+func (d *Dynamic) Dim() int { return d.dim }
+
+// NumGroups returns the current number of groups.
+func (d *Dynamic) NumGroups() int { return len(d.groups) }
+
+// Add routes one stream record to the group with the nearest centroid and
+// splits that group if it reaches 2k records.
+func (d *Dynamic) Add(x mat.Vector) error {
+	if len(x) != d.dim {
+		return fmt.Errorf("core: stream record dimension %d, want %d", len(x), d.dim)
+	}
+	if !x.IsFinite() {
+		return errors.New("core: stream record has non-finite values")
+	}
+	if len(d.groups) == 0 {
+		g := stats.NewGroup(d.dim)
+		if err := g.Add(x); err != nil {
+			return err
+		}
+		d.groups = append(d.groups, g)
+		m, err := g.Mean()
+		if err != nil {
+			return err
+		}
+		d.centroids = append(d.centroids, m)
+		return nil
+	}
+
+	// Find the nearest centroid in H to X.
+	best, bestD := 0, x.DistSq(d.centroids[0])
+	for i := 1; i < len(d.centroids); i++ {
+		if dist := x.DistSq(d.centroids[i]); dist < bestD {
+			best, bestD = i, dist
+		}
+	}
+	g := d.groups[best]
+	if err := g.Add(x); err != nil {
+		return err
+	}
+	m, err := g.Mean()
+	if err != nil {
+		return err
+	}
+	d.centroids[best] = m
+
+	if g.N() == 2*d.k {
+		m1, m2, err := SplitGroup(g, d.k, d.opts.SplitAxis, d.r)
+		if err != nil {
+			return fmt.Errorf("core: splitting group %d: %w", best, err)
+		}
+		c1, err := m1.Mean()
+		if err != nil {
+			return err
+		}
+		c2, err := m2.Mean()
+		if err != nil {
+			return err
+		}
+		// Delete M from H; add M1 and M2 to H.
+		d.groups[best], d.centroids[best] = m1, c1
+		d.groups = append(d.groups, m2)
+		d.centroids = append(d.centroids, c2)
+	}
+	return nil
+}
+
+// AddAll streams a batch of records through Add.
+func (d *Dynamic) AddAll(records []mat.Vector) error {
+	for i, x := range records {
+		if err := d.Add(x); err != nil {
+			return fmt.Errorf("core: stream record %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Condensation snapshots the current groups as an immutable Condensation
+// that can be synthesized from. The groups are copied.
+func (d *Dynamic) Condensation() *Condensation {
+	groups := make([]*stats.Group, len(d.groups))
+	for i, g := range d.groups {
+		groups[i] = g.Clone()
+	}
+	return newCondensation(d.dim, d.k, d.opts, groups)
+}

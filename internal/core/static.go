@@ -1,0 +1,175 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"condensation/internal/mat"
+	"condensation/internal/rng"
+	"condensation/internal/stats"
+)
+
+// Static runs the CreateCondensedGroups algorithm of Figure 1 on the full
+// set of records: while at least k records remain, sample one uniformly at
+// random, gather its k−1 nearest remaining neighbours into a group, record
+// the group's aggregate statistics, and delete the group's records.
+// Remaining records (between 1 and k−1 of them) are folded into the group
+// with the nearest centroid, so a few groups may hold more than k records.
+//
+// The records slice is not modified. Passing k = 1 produces one group per
+// record, in which case synthesis reproduces each record exactly — the
+// paper's group-size-1 anchor where static condensation equals the
+// original data.
+func Static(records []mat.Vector, k int, r *rng.Source, opts Options) (*Condensation, error) {
+	cond, _, err := StaticWithMembers(records, k, r, opts)
+	return cond, err
+}
+
+// StaticWithMembers is Static, additionally reporting which original
+// records each group condensed: members[g] lists the record indices of
+// group g. The membership map is exactly what a condensation deployment
+// must *not* publish; it is exposed for privacy evaluation (re-
+// identification attacks need the ground truth) and for tests.
+func StaticWithMembers(records []mat.Vector, k int, r *rng.Source, opts Options) (*Condensation, [][]int, error) {
+	if err := opts.validate(); err != nil {
+		return nil, nil, err
+	}
+	if k < 1 {
+		return nil, nil, fmt.Errorf("core: indistinguishability level k = %d, must be ≥ 1", k)
+	}
+	if r == nil {
+		return nil, nil, errors.New("core: nil random source")
+	}
+	if len(records) == 0 {
+		return nil, nil, errors.New("core: no records to condense")
+	}
+	dim := len(records[0])
+	for i, x := range records {
+		if len(x) != dim {
+			return nil, nil, fmt.Errorf("core: record %d has dimension %d, want %d", i, len(x), dim)
+		}
+		if !x.IsFinite() {
+			return nil, nil, fmt.Errorf("core: record %d has non-finite values", i)
+		}
+	}
+
+	// k = 1 needs no neighbour search: every record is its own group. This
+	// is the paper's anchor case (static condensation at group size 1
+	// equals the original data) and deserves the O(n) fast path.
+	if k == 1 {
+		groups := make([]*stats.Group, len(records))
+		members := make([][]int, len(records))
+		for i, x := range records {
+			g := stats.NewGroup(dim)
+			if err := g.Add(x); err != nil {
+				return nil, nil, err
+			}
+			groups[i] = g
+			members[i] = []int{i}
+		}
+		return newCondensation(dim, k, opts, groups), members, nil
+	}
+
+	// alive holds indices of records not yet assigned to a group. Removal
+	// is swap-delete, so order is not preserved — grouping is randomized by
+	// the sampling step anyway.
+	alive := make([]int, len(records))
+	for i := range alive {
+		alive[i] = i
+	}
+
+	var groups []*stats.Group
+	var members [][]int
+	distSq := make([]float64, 0, len(records))
+	for len(alive) >= k {
+		// Randomly sample a data point X from D.
+		pick := r.IntN(len(alive))
+		seed := records[alive[pick]]
+
+		// Find the k−1 closest remaining records to X.
+		distSq = distSq[:0]
+		for _, idx := range alive {
+			distSq = append(distSq, seed.DistSq(records[idx]))
+		}
+		// Order alive positions by distance to the seed; position `pick`
+		// has distance 0 and is therefore selected first.
+		order := make([]int, len(alive))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return distSq[order[a]] < distSq[order[b]] })
+
+		g := stats.NewGroup(dim)
+		var member []int
+		for _, pos := range order[:k] {
+			if err := g.Add(records[alive[pos]]); err != nil {
+				return nil, nil, fmt.Errorf("core: adding record to group: %w", err)
+			}
+			member = append(member, alive[pos])
+		}
+		groups = append(groups, g)
+		members = append(members, member)
+
+		// Delete the k chosen records from the alive set (descending
+		// positions so swap-delete does not disturb pending positions).
+		chosen := append([]int(nil), order[:k]...)
+		sort.Sort(sort.Reverse(sort.IntSlice(chosen)))
+		for _, pos := range chosen {
+			alive[pos] = alive[len(alive)-1]
+			alive = alive[:len(alive)-1]
+		}
+	}
+
+	// Handle the final < k leftover records.
+	if len(alive) > 0 {
+		switch opts.Leftover {
+		case LeftoverNearestGroup:
+			if len(groups) == 0 {
+				// Fewer than k records in total: the best available option
+				// is a single undersized group (the caller asked for an
+				// indistinguishability level the data cannot support).
+				g := stats.NewGroup(dim)
+				for _, idx := range alive {
+					if err := g.Add(records[idx]); err != nil {
+						return nil, nil, err
+					}
+				}
+				groups = append(groups, g)
+				members = append(members, append([]int(nil), alive...))
+				break
+			}
+			centroids := make([]mat.Vector, len(groups))
+			for i, g := range groups {
+				m, err := g.Mean()
+				if err != nil {
+					return nil, nil, err
+				}
+				centroids[i] = m
+			}
+			for _, idx := range alive {
+				best, bestD := 0, records[idx].DistSq(centroids[0])
+				for gi := 1; gi < len(centroids); gi++ {
+					if d := records[idx].DistSq(centroids[gi]); d < bestD {
+						best, bestD = gi, d
+					}
+				}
+				if err := groups[best].Add(records[idx]); err != nil {
+					return nil, nil, err
+				}
+				members[best] = append(members[best], idx)
+			}
+		case LeftoverOwnGroup:
+			g := stats.NewGroup(dim)
+			for _, idx := range alive {
+				if err := g.Add(records[idx]); err != nil {
+					return nil, nil, err
+				}
+			}
+			groups = append(groups, g)
+			members = append(members, append([]int(nil), alive...))
+		}
+	}
+
+	return newCondensation(dim, k, opts, groups), members, nil
+}

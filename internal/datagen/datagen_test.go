@@ -1,0 +1,293 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"condensation/internal/dataset"
+	"condensation/internal/knn"
+	"condensation/internal/rng"
+	"condensation/internal/stats"
+)
+
+func TestIonosphereShape(t *testing.T) {
+	ds := Ionosphere(1)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 351 || ds.Dim() != 34 {
+		t.Errorf("shape %dx%d, want 351x34", ds.Len(), ds.Dim())
+	}
+	counts := ds.ClassCounts()
+	if counts[0] != 225 || counts[1] != 126 {
+		t.Errorf("class counts %v, want [225 126]", counts)
+	}
+	for i, x := range ds.X {
+		if x.Min() < -1 || x.Max() > 1 {
+			t.Fatalf("record %d outside [-1,1]: min %g max %g", i, x.Min(), x.Max())
+		}
+	}
+}
+
+func TestEcoliShape(t *testing.T) {
+	ds := Ecoli(2)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 336 || ds.Dim() != 7 {
+		t.Errorf("shape %dx%d, want 336x7", ds.Len(), ds.Dim())
+	}
+	if ds.NumClasses() != 8 {
+		t.Errorf("%d classes, want 8", ds.NumClasses())
+	}
+	counts := ds.ClassCounts()
+	want := []int{143, 77, 52, 35, 20, 5, 2, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("class %d count %d, want %d", i, counts[i], want[i])
+		}
+	}
+}
+
+func TestPimaShape(t *testing.T) {
+	ds := Pima(3)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 768 || ds.Dim() != 8 {
+		t.Errorf("shape %dx%d, want 768x8", ds.Len(), ds.Dim())
+	}
+	counts := ds.ClassCounts()
+	// Label flips move a few borderline records across classes; the split
+	// must stay near 500/268.
+	if counts[0] < 460 || counts[0] > 540 || counts[0]+counts[1] != 768 {
+		t.Errorf("class counts %v, want ≈ [500 268]", counts)
+	}
+	// Clinical plausibility: glucose mean in a sane band, ages ≥ 21.
+	var glucose float64
+	for i, x := range ds.X {
+		glucose += x[1]
+		if x[7] < 21 {
+			t.Fatalf("record %d age %g < 21", i, x[7])
+		}
+	}
+	glucose /= float64(ds.Len())
+	if glucose < 100 || glucose > 140 {
+		t.Errorf("mean glucose %g outside [100, 140]", glucose)
+	}
+}
+
+func TestAbaloneShape(t *testing.T) {
+	ds := Abalone(4)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 4177 || ds.Dim() != 7 {
+		t.Errorf("shape %dx%d, want 4177x7", ds.Len(), ds.Dim())
+	}
+	for i, y := range ds.Targets {
+		if y < 1 || y > 29 || y != math.Round(y) {
+			t.Fatalf("target %d = %g, want integer ring count in [1, 29]", i, y)
+		}
+	}
+}
+
+func TestAbaloneAttributesCorrelated(t *testing.T) {
+	// The original abalone measurements are correlated > 0.9; the latent
+	// size factor must reproduce strong correlation between, e.g., length
+	// and diameter.
+	ds := Abalone(5)
+	var lengths, diams []float64
+	for _, x := range ds.X {
+		lengths = append(lengths, x[0])
+		diams = append(diams, x[1])
+	}
+	r, err := stats.Pearson(lengths, diams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.9 {
+		t.Errorf("corr(length, diameter) = %g, want > 0.9", r)
+	}
+}
+
+func TestAbaloneRingsDependOnSize(t *testing.T) {
+	ds := Abalone(6)
+	var lengths, rings []float64
+	for i, x := range ds.X {
+		lengths = append(lengths, x[0])
+		rings = append(rings, ds.Targets[i])
+	}
+	r, err := stats.Pearson(lengths, rings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.5 {
+		t.Errorf("corr(length, rings) = %g, want > 0.5", r)
+	}
+}
+
+func TestIonosphereCorrelationStructure(t *testing.T) {
+	// Good returns are built from smooth factors: adjacent pulses must
+	// correlate strongly, which is what condensation preserves and the
+	// per-dimension perturbation baseline destroys.
+	ds := Ionosphere(7)
+	var a, b []float64
+	for i, x := range ds.X {
+		if ds.Labels[i] != 0 {
+			continue
+		}
+		a = append(a, x[10])
+		b = append(b, x[11])
+	}
+	r, err := stats.Pearson(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r) < 0.4 {
+		t.Errorf("corr(pulse10, pulse11 | good) = %g, want |r| > 0.4", r)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		a, err := ByName(name, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ByName(name, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Len() != b.Len() {
+			t.Fatalf("%s: lengths differ", name)
+		}
+		for i := range a.X {
+			if !a.X[i].Equal(b.X[i], 0) {
+				t.Fatalf("%s: record %d differs across identical seeds", name, i)
+			}
+		}
+	}
+}
+
+func TestSeedsChangeData(t *testing.T) {
+	a := Pima(1)
+	b := Pima(2)
+	same := 0
+	for i := range a.X {
+		if a.X[i].Equal(b.X[i], 0) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d identical records across different seeds", same)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("adult", 1); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestTwoGaussians(t *testing.T) {
+	ds := TwoGaussians(8, 50, 3, 6)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 100 || ds.Dim() != 3 || ds.NumClasses() != 2 {
+		t.Errorf("shape %dx%d classes %d", ds.Len(), ds.Dim(), ds.NumClasses())
+	}
+}
+
+// Every classification data set must be learnable: a 1-NN classifier on a
+// train/test split should beat the majority-class baseline by a clear
+// margin, or the condensation experiments would be measuring noise.
+func TestDatasetsAreLearnable(t *testing.T) {
+	for _, name := range []string{"ionosphere", "ecoli", "pima"} {
+		ds, err := ByName(name, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		train, test, err := ds.TrainTestSplit(0.75, rng.New(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		clf, err := knn.NewClassifier(train, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds, err := clf.PredictAll(test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		correct := 0
+		for i, p := range preds {
+			if p == test.Labels[i] {
+				correct++
+			}
+		}
+		acc := float64(correct) / float64(test.Len())
+		counts := ds.ClassCounts()
+		maxCount := 0
+		for _, c := range counts {
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+		majority := float64(maxCount) / float64(ds.Len())
+		if acc <= majority {
+			t.Errorf("%s: 1-NN accuracy %.3f does not beat majority baseline %.3f", name, acc, majority)
+		}
+	}
+}
+
+// The regression data set must be predictable within one year well above
+// chance.
+func TestAbaloneIsPredictable(t *testing.T) {
+	ds := Abalone(11)
+	train, test, err := ds.TrainTestSplit(0.75, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := knn.NewRegressor(train, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := reg.PredictAll(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within := 0
+	for i, p := range preds {
+		if math.Abs(p-test.Targets[i]) <= 1 {
+			within++
+		}
+	}
+	frac := float64(within) / float64(test.Len())
+	if frac < 0.3 {
+		t.Errorf("within-one-year accuracy %.3f, want ≥ 0.3", frac)
+	}
+}
+
+func TestNamesAndTasks(t *testing.T) {
+	if len(Names()) != 4 {
+		t.Fatalf("Names() = %v", Names())
+	}
+	for _, name := range Names() {
+		ds, err := ByName(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantTask := dataset.Classification
+		if name == "abalone" {
+			wantTask = dataset.Regression
+		}
+		if ds.Task != wantTask {
+			t.Errorf("%s task = %v, want %v", name, ds.Task, wantTask)
+		}
+		if ds.Name != name {
+			t.Errorf("dataset name %q, want %q", ds.Name, name)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTripClassification(t *testing.T) {
+	ds := sampleClassification()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "toy", Classification)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ds.Len() || got.Dim() != ds.Dim() {
+		t.Fatalf("round trip %dx%d, want %dx%d", got.Len(), got.Dim(), ds.Len(), ds.Dim())
+	}
+	for i := range ds.X {
+		if !got.X[i].Equal(ds.X[i], 0) {
+			t.Errorf("record %d = %v, want %v", i, got.X[i], ds.X[i])
+		}
+		if got.ClassNames[got.Labels[i]] != ds.ClassNames[ds.Labels[i]] {
+			t.Errorf("record %d label %q, want %q", i,
+				got.ClassNames[got.Labels[i]], ds.ClassNames[ds.Labels[i]])
+		}
+	}
+}
+
+func TestCSVRoundTripRegression(t *testing.T) {
+	ds := sampleRegression()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "toyreg", Regression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.Targets {
+		if got.Targets[i] != ds.Targets[i] {
+			t.Errorf("target %d = %g, want %g", i, got.Targets[i], ds.Targets[i])
+		}
+	}
+}
+
+func TestCSVNumericLabels(t *testing.T) {
+	in := "a,b,class\n1,2,0\n3,4,1\n"
+	ds, err := ReadCSV(strings.NewReader(in), "n", Classification)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Labels[0] != 0 || ds.Labels[1] != 1 {
+		t.Errorf("Labels = %v", ds.Labels)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+		task     Task
+	}{
+		{"empty", "", Classification},
+		{"one column", "a\n1\n", Classification},
+		{"bad float", "a,b,class\n1,x,0\n", Classification},
+		{"ragged", "a,b,class\n1,2,0\n1,0\n", Classification},
+		{"bad target", "a,target\n1,zzz\n", Regression},
+	}
+	for _, tc := range cases {
+		if _, err := ReadCSV(strings.NewReader(tc.in), tc.name, tc.task); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestWriteCSVValidates(t *testing.T) {
+	ds := sampleClassification()
+	ds.Labels = ds.Labels[:2]
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err == nil {
+		t.Error("invalid data set written")
+	}
+}
+
+func TestWriteCSVSynthesizesHeader(t *testing.T) {
+	ds := sampleRegression()
+	ds.Attrs = nil
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "attr0,target") {
+		t.Errorf("header = %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+}

@@ -1,0 +1,338 @@
+// Package dataset provides the tabular-data container used throughout the
+// condensation library, together with CSV serialization, feature scaling,
+// and stratified splitting utilities.
+//
+// A Dataset holds numeric multi-dimensional records — the only data model
+// the condensation approach operates on — plus either an integer class
+// label per record (classification) or a float64 target per record
+// (regression, used for the Abalone age-prediction experiment).
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"condensation/internal/mat"
+	"condensation/internal/rng"
+)
+
+// Task distinguishes classification data sets from regression data sets.
+type Task int
+
+const (
+	// Classification marks data sets with an integer class label per record.
+	Classification Task = iota
+	// Regression marks data sets with a real-valued target per record.
+	Regression
+)
+
+// String returns the task name.
+func (t Task) String() string {
+	switch t {
+	case Classification:
+		return "classification"
+	case Regression:
+		return "regression"
+	default:
+		return fmt.Sprintf("Task(%d)", int(t))
+	}
+}
+
+// Dataset is a set of numeric records with supervision. Exactly one of
+// Labels (classification) or Targets (regression) is populated, according
+// to Task.
+type Dataset struct {
+	// Name identifies the data set in reports.
+	Name string
+	// Attrs names the d attributes.
+	Attrs []string
+	// Task selects between Labels and Targets.
+	Task Task
+	// X holds the records; all rows share the dimensionality len(Attrs).
+	X []mat.Vector
+	// Labels holds one class index per record for classification tasks.
+	Labels []int
+	// ClassNames optionally names the classes; may be nil.
+	ClassNames []string
+	// Targets holds one real target per record for regression tasks.
+	Targets []float64
+}
+
+// Len returns the number of records.
+func (ds *Dataset) Len() int { return len(ds.X) }
+
+// Dim returns the attribute dimensionality, or 0 for an empty data set
+// with no declared attributes.
+func (ds *Dataset) Dim() int {
+	if len(ds.Attrs) > 0 {
+		return len(ds.Attrs)
+	}
+	if len(ds.X) > 0 {
+		return len(ds.X[0])
+	}
+	return 0
+}
+
+// Validate checks internal consistency: rectangular records, finite
+// values, matching supervision length, and in-range labels.
+func (ds *Dataset) Validate() error {
+	d := ds.Dim()
+	for i, x := range ds.X {
+		if len(x) != d {
+			return fmt.Errorf("dataset %q: record %d has dimension %d, want %d", ds.Name, i, len(x), d)
+		}
+		if !x.IsFinite() {
+			return fmt.Errorf("dataset %q: record %d has non-finite values", ds.Name, i)
+		}
+	}
+	switch ds.Task {
+	case Classification:
+		if len(ds.Labels) != len(ds.X) {
+			return fmt.Errorf("dataset %q: %d labels for %d records", ds.Name, len(ds.Labels), len(ds.X))
+		}
+		for i, l := range ds.Labels {
+			if l < 0 {
+				return fmt.Errorf("dataset %q: negative label %d at record %d", ds.Name, l, i)
+			}
+			if ds.ClassNames != nil && l >= len(ds.ClassNames) {
+				return fmt.Errorf("dataset %q: label %d at record %d out of range for %d classes",
+					ds.Name, l, i, len(ds.ClassNames))
+			}
+		}
+	case Regression:
+		if len(ds.Targets) != len(ds.X) {
+			return fmt.Errorf("dataset %q: %d targets for %d records", ds.Name, len(ds.Targets), len(ds.X))
+		}
+		for i, y := range ds.Targets {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				return fmt.Errorf("dataset %q: non-finite target at record %d", ds.Name, i)
+			}
+		}
+	default:
+		return fmt.Errorf("dataset %q: unknown task %d", ds.Name, int(ds.Task))
+	}
+	return nil
+}
+
+// Clone returns an independent deep copy.
+func (ds *Dataset) Clone() *Dataset {
+	out := &Dataset{Name: ds.Name, Task: ds.Task}
+	out.Attrs = append([]string(nil), ds.Attrs...)
+	out.ClassNames = append([]string(nil), ds.ClassNames...)
+	out.X = make([]mat.Vector, len(ds.X))
+	for i, x := range ds.X {
+		out.X[i] = x.Clone()
+	}
+	out.Labels = append([]int(nil), ds.Labels...)
+	out.Targets = append([]float64(nil), ds.Targets...)
+	return out
+}
+
+// Subset returns a new data set containing the records at the given
+// indices (deep-copied), in order.
+func (ds *Dataset) Subset(idx []int) (*Dataset, error) {
+	out := &Dataset{
+		Name:       ds.Name,
+		Attrs:      append([]string(nil), ds.Attrs...),
+		ClassNames: append([]string(nil), ds.ClassNames...),
+		Task:       ds.Task,
+	}
+	for _, i := range idx {
+		if i < 0 || i >= len(ds.X) {
+			return nil, fmt.Errorf("dataset %q: subset index %d out of range [0,%d)", ds.Name, i, len(ds.X))
+		}
+		out.X = append(out.X, ds.X[i].Clone())
+		if ds.Task == Classification {
+			out.Labels = append(out.Labels, ds.Labels[i])
+		} else {
+			out.Targets = append(out.Targets, ds.Targets[i])
+		}
+	}
+	return out, nil
+}
+
+// Shuffle permutes the records (with their supervision) in place using the
+// supplied random source.
+func (ds *Dataset) Shuffle(r *rng.Source) {
+	r.Shuffle(len(ds.X), func(i, j int) {
+		ds.X[i], ds.X[j] = ds.X[j], ds.X[i]
+		if ds.Task == Classification {
+			ds.Labels[i], ds.Labels[j] = ds.Labels[j], ds.Labels[i]
+		} else {
+			ds.Targets[i], ds.Targets[j] = ds.Targets[j], ds.Targets[i]
+		}
+	})
+}
+
+// NumClasses returns the number of distinct classes: len(ClassNames) when
+// set, otherwise max label + 1. It returns 0 for regression data sets.
+func (ds *Dataset) NumClasses() int {
+	if ds.Task != Classification {
+		return 0
+	}
+	if len(ds.ClassNames) > 0 {
+		return len(ds.ClassNames)
+	}
+	maxLabel := -1
+	for _, l := range ds.Labels {
+		if l > maxLabel {
+			maxLabel = l
+		}
+	}
+	return maxLabel + 1
+}
+
+// ClassCounts returns the number of records per class.
+func (ds *Dataset) ClassCounts() []int {
+	counts := make([]int, ds.NumClasses())
+	for _, l := range ds.Labels {
+		counts[l]++
+	}
+	return counts
+}
+
+// ByClass groups the record indices by class label.
+func (ds *Dataset) ByClass() map[int][]int {
+	out := make(map[int][]int)
+	for i, l := range ds.Labels {
+		out[l] = append(out[l], i)
+	}
+	return out
+}
+
+// TrainTestSplit splits the data set into a training part of the given
+// fraction and a test part with the remainder. Classification splits are
+// stratified so both parts retain the class proportions; regression splits
+// are simple random splits. The data set itself is not modified.
+func (ds *Dataset) TrainTestSplit(trainFrac float64, r *rng.Source) (train, test *Dataset, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("dataset %q: train fraction %g outside (0,1)", ds.Name, trainFrac)
+	}
+	if ds.Len() < 2 {
+		return nil, nil, fmt.Errorf("dataset %q: %d records is too few to split", ds.Name, ds.Len())
+	}
+	var trainIdx, testIdx []int
+	if ds.Task == Classification {
+		for _, members := range orderedClasses(ds.ByClass()) {
+			members = append([]int(nil), members...)
+			r.Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
+			cut := int(math.Round(trainFrac * float64(len(members))))
+			// Keep at least one record on each side when the class allows it.
+			if cut == 0 && len(members) > 1 {
+				cut = 1
+			}
+			if cut == len(members) && len(members) > 1 {
+				cut = len(members) - 1
+			}
+			trainIdx = append(trainIdx, members[:cut]...)
+			testIdx = append(testIdx, members[cut:]...)
+		}
+	} else {
+		perm := r.Perm(ds.Len())
+		cut := int(math.Round(trainFrac * float64(ds.Len())))
+		if cut == 0 {
+			cut = 1
+		}
+		if cut == ds.Len() {
+			cut = ds.Len() - 1
+		}
+		trainIdx, testIdx = perm[:cut], perm[cut:]
+	}
+	if train, err = ds.Subset(trainIdx); err != nil {
+		return nil, nil, err
+	}
+	if test, err = ds.Subset(testIdx); err != nil {
+		return nil, nil, err
+	}
+	return train, test, nil
+}
+
+// orderedClasses returns the class groups in ascending label order so that
+// stratified splitting is deterministic given a seeded source.
+func orderedClasses(byClass map[int][]int) [][]int {
+	labels := make([]int, 0, len(byClass))
+	for l := range byClass {
+		labels = append(labels, l)
+	}
+	sort.Ints(labels)
+	out := make([][]int, 0, len(labels))
+	for _, l := range labels {
+		out = append(out, byClass[l])
+	}
+	return out
+}
+
+// Fold is one train/test partition of a k-fold cross-validation.
+type Fold struct {
+	Train *Dataset
+	Test  *Dataset
+}
+
+// KFold partitions the data set into k cross-validation folds. For
+// classification the folds are stratified.
+func (ds *Dataset) KFold(k int, r *rng.Source) ([]Fold, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("dataset %q: k-fold with k=%d", ds.Name, k)
+	}
+	if ds.Len() < k {
+		return nil, fmt.Errorf("dataset %q: %d records for %d folds", ds.Name, ds.Len(), k)
+	}
+	assign := make([]int, ds.Len()) // record index → fold
+	if ds.Task == Classification {
+		for _, members := range orderedClasses(ds.ByClass()) {
+			members = append([]int(nil), members...)
+			r.Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
+			for pos, idx := range members {
+				assign[idx] = pos % k
+			}
+		}
+	} else {
+		perm := r.Perm(ds.Len())
+		for pos, idx := range perm {
+			assign[idx] = pos % k
+		}
+	}
+	folds := make([]Fold, k)
+	for f := 0; f < k; f++ {
+		var trainIdx, testIdx []int
+		for i, a := range assign {
+			if a == f {
+				testIdx = append(testIdx, i)
+			} else {
+				trainIdx = append(trainIdx, i)
+			}
+		}
+		train, err := ds.Subset(trainIdx)
+		if err != nil {
+			return nil, err
+		}
+		test, err := ds.Subset(testIdx)
+		if err != nil {
+			return nil, err
+		}
+		folds[f] = Fold{Train: train, Test: test}
+	}
+	return folds, nil
+}
+
+// Append adds a record with its supervision. The vector is not copied.
+func (ds *Dataset) Append(x mat.Vector, label int, target float64) error {
+	if d := ds.Dim(); d > 0 && len(x) != d {
+		return fmt.Errorf("dataset %q: appending record of dimension %d to %d-dimensional data", ds.Name, len(x), d)
+	}
+	ds.X = append(ds.X, x)
+	if ds.Task == Classification {
+		ds.Labels = append(ds.Labels, label)
+	} else {
+		ds.Targets = append(ds.Targets, target)
+	}
+	return nil
+}
+
+// ErrEmpty is returned by operations that need at least one record.
+var ErrEmpty = errors.New("dataset: empty data set")
+
+// Records returns the raw record slice (not copied).
+func (ds *Dataset) Records() []mat.Vector { return ds.X }

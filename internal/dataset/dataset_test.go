@@ -1,0 +1,267 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"condensation/internal/mat"
+	"condensation/internal/rng"
+)
+
+func sampleClassification() *Dataset {
+	return &Dataset{
+		Name:       "toy",
+		Attrs:      []string{"a", "b"},
+		Task:       Classification,
+		X:          []mat.Vector{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {5, 5}, {5, 6}, {6, 5}, {6, 6}},
+		Labels:     []int{0, 0, 0, 0, 1, 1, 1, 1},
+		ClassNames: []string{"low", "high"},
+	}
+}
+
+func sampleRegression() *Dataset {
+	return &Dataset{
+		Name:    "toyreg",
+		Attrs:   []string{"a"},
+		Task:    Regression,
+		X:       []mat.Vector{{1}, {2}, {3}, {4}, {5}, {6}},
+		Targets: []float64{2, 4, 6, 8, 10, 12},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sampleClassification().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := sampleRegression().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	ds := sampleClassification()
+	ds.X[3] = mat.Vector{1} // ragged
+	if ds.Validate() == nil {
+		t.Error("ragged records accepted")
+	}
+
+	ds = sampleClassification()
+	ds.X[0][0] = math.NaN()
+	if ds.Validate() == nil {
+		t.Error("NaN accepted")
+	}
+
+	ds = sampleClassification()
+	ds.Labels = ds.Labels[:3]
+	if ds.Validate() == nil {
+		t.Error("label count mismatch accepted")
+	}
+
+	ds = sampleClassification()
+	ds.Labels[0] = -1
+	if ds.Validate() == nil {
+		t.Error("negative label accepted")
+	}
+
+	ds = sampleClassification()
+	ds.Labels[0] = 5
+	if ds.Validate() == nil {
+		t.Error("out-of-range label accepted")
+	}
+
+	rg := sampleRegression()
+	rg.Targets[0] = math.Inf(1)
+	if rg.Validate() == nil {
+		t.Error("Inf target accepted")
+	}
+
+	bad := sampleClassification()
+	bad.Task = Task(9)
+	if bad.Validate() == nil {
+		t.Error("unknown task accepted")
+	}
+}
+
+func TestTaskString(t *testing.T) {
+	if Classification.String() != "classification" || Regression.String() != "regression" {
+		t.Error("Task.String wrong")
+	}
+	if Task(7).String() == "" {
+		t.Error("unknown task String empty")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	ds := sampleClassification()
+	c := ds.Clone()
+	c.X[0][0] = 99
+	c.Labels[0] = 1
+	if ds.X[0][0] == 99 || ds.Labels[0] == 1 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	ds := sampleClassification()
+	sub, err := ds.Subset([]int{4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 2 || sub.Labels[0] != 1 || sub.Labels[1] != 0 {
+		t.Errorf("Subset wrong: %v %v", sub.X, sub.Labels)
+	}
+	if _, err := ds.Subset([]int{99}); err == nil {
+		t.Error("out-of-range subset index accepted")
+	}
+}
+
+func TestSubsetRegression(t *testing.T) {
+	ds := sampleRegression()
+	sub, err := ds.Subset([]int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Targets[0] != 12 {
+		t.Errorf("Subset target = %g", sub.Targets[0])
+	}
+}
+
+func TestShuffleKeepsAlignment(t *testing.T) {
+	ds := sampleClassification()
+	// Class is determined by whether x[0] < 3; shuffling must preserve it.
+	ds.Shuffle(rng.New(3))
+	for i, x := range ds.X {
+		wantLabel := 0
+		if x[0] >= 3 {
+			wantLabel = 1
+		}
+		if ds.Labels[i] != wantLabel {
+			t.Fatalf("record %d label %d desynchronized from features %v", i, ds.Labels[i], x)
+		}
+	}
+}
+
+func TestNumClassesAndCounts(t *testing.T) {
+	ds := sampleClassification()
+	if got := ds.NumClasses(); got != 2 {
+		t.Errorf("NumClasses = %d", got)
+	}
+	counts := ds.ClassCounts()
+	if counts[0] != 4 || counts[1] != 4 {
+		t.Errorf("ClassCounts = %v", counts)
+	}
+	ds.ClassNames = nil
+	if got := ds.NumClasses(); got != 2 {
+		t.Errorf("NumClasses without names = %d", got)
+	}
+	if sampleRegression().NumClasses() != 0 {
+		t.Error("regression NumClasses != 0")
+	}
+}
+
+func TestTrainTestSplitStratified(t *testing.T) {
+	ds := sampleClassification()
+	train, test, err := ds.TrainTestSplit(0.75, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len()+test.Len() != ds.Len() {
+		t.Fatalf("split sizes %d + %d != %d", train.Len(), test.Len(), ds.Len())
+	}
+	// Stratification: each side keeps both classes.
+	for _, part := range []*Dataset{train, test} {
+		counts := part.ClassCounts()
+		if counts[0] == 0 || counts[1] == 0 {
+			t.Errorf("split lost a class: %v", counts)
+		}
+	}
+}
+
+func TestTrainTestSplitRegression(t *testing.T) {
+	ds := sampleRegression()
+	train, test, err := ds.TrainTestSplit(0.5, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 3 || test.Len() != 3 {
+		t.Errorf("split sizes %d/%d, want 3/3", train.Len(), test.Len())
+	}
+}
+
+func TestTrainTestSplitBadFraction(t *testing.T) {
+	ds := sampleClassification()
+	for _, frac := range []float64{0, 1, -0.5, 2} {
+		if _, _, err := ds.TrainTestSplit(frac, rng.New(1)); err == nil {
+			t.Errorf("fraction %g accepted", frac)
+		}
+	}
+}
+
+func TestTrainTestSplitTooSmall(t *testing.T) {
+	ds := &Dataset{Task: Regression, X: []mat.Vector{{1}}, Targets: []float64{1}}
+	if _, _, err := ds.TrainTestSplit(0.5, rng.New(1)); err == nil {
+		t.Error("single-record split accepted")
+	}
+}
+
+func TestKFold(t *testing.T) {
+	ds := sampleClassification()
+	folds, err := ds.KFold(4, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 4 {
+		t.Fatalf("%d folds", len(folds))
+	}
+	totalTest := 0
+	for _, f := range folds {
+		totalTest += f.Test.Len()
+		if f.Train.Len()+f.Test.Len() != ds.Len() {
+			t.Errorf("fold sizes %d + %d != %d", f.Train.Len(), f.Test.Len(), ds.Len())
+		}
+	}
+	if totalTest != ds.Len() {
+		t.Errorf("test folds cover %d records, want %d", totalTest, ds.Len())
+	}
+}
+
+func TestKFoldErrors(t *testing.T) {
+	ds := sampleClassification()
+	if _, err := ds.KFold(1, rng.New(1)); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := ds.KFold(100, rng.New(1)); err == nil {
+		t.Error("k > n accepted")
+	}
+}
+
+func TestAppend(t *testing.T) {
+	ds := sampleClassification()
+	if err := ds.Append(mat.Vector{2, 2}, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 9 || ds.Labels[8] != 0 {
+		t.Error("Append failed")
+	}
+	if err := ds.Append(mat.Vector{1}, 0, 0); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	rg := sampleRegression()
+	if err := rg.Append(mat.Vector{7}, 0, 14); err != nil {
+		t.Fatal(err)
+	}
+	if rg.Targets[len(rg.Targets)-1] != 14 {
+		t.Error("regression Append target lost")
+	}
+}
+
+func TestDimFallbacks(t *testing.T) {
+	empty := &Dataset{}
+	if empty.Dim() != 0 {
+		t.Error("empty Dim != 0")
+	}
+	noAttrs := &Dataset{X: []mat.Vector{{1, 2, 3}}}
+	if noAttrs.Dim() != 3 {
+		t.Error("Dim from records failed")
+	}
+}

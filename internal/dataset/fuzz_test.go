@@ -1,0 +1,43 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV feeds arbitrary text to the CSV reader for both tasks: any
+// accepted data set must validate and survive a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b,class\n1,2,x\n3,4,y\n", true)
+	f.Add("a,target\n1,2\n", false)
+	f.Add("", true)
+	f.Add("a,b,class\n1,notanumber,x\n", true)
+	f.Add("a,b,class\n1,2\n", true)
+
+	f.Fuzz(func(t *testing.T, text string, classify bool) {
+		task := Classification
+		if !classify {
+			task = Regression
+		}
+		ds, err := ReadCSV(strings.NewReader(text), "fuzz", task)
+		if err != nil {
+			return
+		}
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("accepted data set fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, ds); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		again, err := ReadCSV(&buf, "fuzz2", task)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if again.Len() != ds.Len() || again.Dim() != ds.Dim() {
+			t.Fatalf("round trip changed shape: %dx%d vs %dx%d",
+				again.Len(), again.Dim(), ds.Len(), ds.Dim())
+		}
+	})
+}

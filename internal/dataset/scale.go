@@ -1,0 +1,118 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"condensation/internal/mat"
+)
+
+// Scaler is a fitted per-attribute affine transform x' = (x - shift)/scale.
+// Two constructions are provided: z-score standardization and min-max
+// normalization to [0, 1]. Scaling matters for the condensation approach
+// because both the nearest-neighbour grouping and the kNN classifier use
+// Euclidean distance, which is dominated by large-range attributes when
+// the data is left raw.
+type Scaler struct {
+	shift mat.Vector
+	scale mat.Vector
+}
+
+// FitZScore fits a standardizing scaler (shift = mean, scale = stddev) on
+// the records of ds. Attributes with zero variance get scale 1 so they map
+// to a constant 0 rather than NaN.
+func FitZScore(ds *Dataset) (*Scaler, error) {
+	if ds.Len() == 0 {
+		return nil, ErrEmpty
+	}
+	d := ds.Dim()
+	mean := mat.NewVector(d)
+	for _, x := range ds.X {
+		mean.AddScaled(1, x)
+	}
+	n := float64(ds.Len())
+	for j := range mean {
+		mean[j] /= n
+	}
+	std := mat.NewVector(d)
+	for _, x := range ds.X {
+		for j := range std {
+			dev := x[j] - mean[j]
+			std[j] += dev * dev
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / n)
+		if std[j] == 0 {
+			std[j] = 1
+		}
+	}
+	return &Scaler{shift: mean, scale: std}, nil
+}
+
+// FitMinMax fits a [0,1] range scaler. Constant attributes get scale 1.
+func FitMinMax(ds *Dataset) (*Scaler, error) {
+	if ds.Len() == 0 {
+		return nil, ErrEmpty
+	}
+	d := ds.Dim()
+	lo := ds.X[0].Clone()
+	hi := ds.X[0].Clone()
+	for _, x := range ds.X[1:] {
+		for j := range lo {
+			if x[j] < lo[j] {
+				lo[j] = x[j]
+			}
+			if x[j] > hi[j] {
+				hi[j] = x[j]
+			}
+		}
+	}
+	scale := mat.NewVector(d)
+	for j := range scale {
+		scale[j] = hi[j] - lo[j]
+		if scale[j] == 0 {
+			scale[j] = 1
+		}
+	}
+	return &Scaler{shift: lo, scale: scale}, nil
+}
+
+// Dim returns the attribute dimensionality the scaler was fitted on.
+func (s *Scaler) Dim() int { return len(s.shift) }
+
+// Transform returns the scaled copy of x.
+func (s *Scaler) Transform(x mat.Vector) (mat.Vector, error) {
+	if len(x) != len(s.shift) {
+		return nil, fmt.Errorf("dataset: scaler dimension %d, record dimension %d", len(s.shift), len(x))
+	}
+	out := make(mat.Vector, len(x))
+	for j := range x {
+		out[j] = (x[j] - s.shift[j]) / s.scale[j]
+	}
+	return out, nil
+}
+
+// Inverse returns the unscaled copy of x.
+func (s *Scaler) Inverse(x mat.Vector) (mat.Vector, error) {
+	if len(x) != len(s.shift) {
+		return nil, fmt.Errorf("dataset: scaler dimension %d, record dimension %d", len(s.shift), len(x))
+	}
+	out := make(mat.Vector, len(x))
+	for j := range x {
+		out[j] = x[j]*s.scale[j] + s.shift[j]
+	}
+	return out, nil
+}
+
+// Apply scales every record of ds in place.
+func (s *Scaler) Apply(ds *Dataset) error {
+	for i, x := range ds.X {
+		scaled, err := s.Transform(x)
+		if err != nil {
+			return fmt.Errorf("dataset: record %d: %w", i, err)
+		}
+		ds.X[i] = scaled
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"condensation/internal/mat"
+)
+
+func TestFitZScore(t *testing.T) {
+	ds := &Dataset{
+		Task:    Regression,
+		X:       []mat.Vector{{0, 10}, {2, 10}, {4, 10}},
+		Targets: []float64{0, 0, 0},
+	}
+	s, err := FitZScore(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(ds); err != nil {
+		t.Fatal(err)
+	}
+	// First attribute: mean 2, std sqrt(8/3).
+	var mean0 float64
+	for _, x := range ds.X {
+		mean0 += x[0]
+	}
+	if math.Abs(mean0) > 1e-12 {
+		t.Errorf("z-scored mean = %g", mean0/3)
+	}
+	// Constant attribute must become constant 0, not NaN.
+	for _, x := range ds.X {
+		if x[1] != 0 {
+			t.Errorf("constant attribute mapped to %g", x[1])
+		}
+	}
+}
+
+func TestFitMinMax(t *testing.T) {
+	ds := &Dataset{
+		Task:    Regression,
+		X:       []mat.Vector{{-2, 7}, {0, 7}, {2, 7}},
+		Targets: []float64{0, 0, 0},
+	}
+	s, err := FitMinMax(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(ds); err != nil {
+		t.Fatal(err)
+	}
+	if ds.X[0][0] != 0 || ds.X[2][0] != 1 || ds.X[1][0] != 0.5 {
+		t.Errorf("min-max scaled: %v", ds.X)
+	}
+	for _, x := range ds.X {
+		if x[1] != 0 {
+			t.Errorf("constant attribute mapped to %g", x[1])
+		}
+	}
+}
+
+func TestScalerRoundTrip(t *testing.T) {
+	ds := &Dataset{
+		Task:    Regression,
+		X:       []mat.Vector{{1, -5}, {3, 0}, {9, 5}},
+		Targets: []float64{0, 0, 0},
+	}
+	s, err := FitZScore(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := mat.Vector{4, 2}
+	scaled, err := s.Transform(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := s.Inverse(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(orig, 1e-12) {
+		t.Errorf("round trip %v → %v → %v", orig, scaled, back)
+	}
+}
+
+func TestScalerDimMismatch(t *testing.T) {
+	ds := &Dataset{Task: Regression, X: []mat.Vector{{1, 2}}, Targets: []float64{0}}
+	s, err := FitZScore(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Transform(mat.Vector{1}); err == nil {
+		t.Error("Transform dim mismatch accepted")
+	}
+	if _, err := s.Inverse(mat.Vector{1, 2, 3}); err == nil {
+		t.Error("Inverse dim mismatch accepted")
+	}
+	if s.Dim() != 2 {
+		t.Errorf("Dim = %d", s.Dim())
+	}
+}
+
+func TestFitOnEmpty(t *testing.T) {
+	empty := &Dataset{Task: Regression}
+	if _, err := FitZScore(empty); err == nil {
+		t.Error("FitZScore on empty accepted")
+	}
+	if _, err := FitMinMax(empty); err == nil {
+		t.Error("FitMinMax on empty accepted")
+	}
+}

@@ -1,0 +1,188 @@
+// Package discretize converts numeric records into categorical bins,
+// enabling itemset-style mining (association rules) on the same data the
+// condensation approach anonymizes. The paper's discussion of the
+// perturbation approach notes that multi-variate reconstruction is only
+// feasible for sparse categorical data such as market baskets; the
+// condensation route needs no such special case — the anonymized numeric
+// records are simply discretized like the originals and any categorical
+// algorithm runs on them.
+package discretize
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"condensation/internal/mat"
+)
+
+// Discretizer maps each numeric attribute to a bin index using fitted
+// per-attribute cut points: value v falls in bin i when
+// cuts[i−1] < v ≤ cuts[i] (bin 0 has no lower bound, the last bin no
+// upper bound).
+type Discretizer struct {
+	// cuts[j] holds the ascending interior cut points of attribute j;
+	// len(cuts[j]) + 1 is the bin count.
+	cuts [][]float64
+}
+
+// EquiWidth fits a discretizer with bins of equal value range per
+// attribute. Constant attributes get a single bin.
+func EquiWidth(records []mat.Vector, bins int) (*Discretizer, error) {
+	if err := validate(records, bins); err != nil {
+		return nil, err
+	}
+	d := len(records[0])
+	dz := &Discretizer{cuts: make([][]float64, d)}
+	for j := 0; j < d; j++ {
+		lo, hi := records[0][j], records[0][j]
+		for _, x := range records[1:] {
+			if x[j] < lo {
+				lo = x[j]
+			}
+			if x[j] > hi {
+				hi = x[j]
+			}
+		}
+		if hi == lo {
+			dz.cuts[j] = nil // one bin
+			continue
+		}
+		width := (hi - lo) / float64(bins)
+		cuts := make([]float64, bins-1)
+		for b := range cuts {
+			cuts[b] = lo + width*float64(b+1)
+		}
+		dz.cuts[j] = cuts
+	}
+	return dz, nil
+}
+
+// EquiDepth fits a discretizer with (approximately) equal record counts
+// per bin, using sample quantiles as cut points. Duplicate quantiles (from
+// heavily tied data) are collapsed, so some attributes may end with fewer
+// bins than requested.
+func EquiDepth(records []mat.Vector, bins int) (*Discretizer, error) {
+	if err := validate(records, bins); err != nil {
+		return nil, err
+	}
+	d := len(records[0])
+	dz := &Discretizer{cuts: make([][]float64, d)}
+	col := make([]float64, len(records))
+	for j := 0; j < d; j++ {
+		for i, x := range records {
+			col[i] = x[j]
+		}
+		sort.Float64s(col)
+		var cuts []float64
+		for b := 1; b < bins; b++ {
+			q := col[(b*len(col))/bins]
+			if len(cuts) == 0 || q > cuts[len(cuts)-1] {
+				cuts = append(cuts, q)
+			}
+		}
+		dz.cuts[j] = cuts
+	}
+	return dz, nil
+}
+
+func validate(records []mat.Vector, bins int) error {
+	if len(records) == 0 {
+		return errors.New("discretize: no records")
+	}
+	if bins < 2 {
+		return fmt.Errorf("discretize: %d bins, need ≥ 2", bins)
+	}
+	d := len(records[0])
+	if d == 0 {
+		return errors.New("discretize: zero-dimensional records")
+	}
+	for i, x := range records {
+		if len(x) != d {
+			return fmt.Errorf("discretize: record %d has dimension %d, want %d", i, len(x), d)
+		}
+		if !x.IsFinite() {
+			return fmt.Errorf("discretize: record %d has non-finite values", i)
+		}
+	}
+	return nil
+}
+
+// Dim returns the number of attributes the discretizer was fitted on.
+func (dz *Discretizer) Dim() int { return len(dz.cuts) }
+
+// Bins returns the bin count of attribute j.
+func (dz *Discretizer) Bins(j int) int { return len(dz.cuts[j]) + 1 }
+
+// MaxBins returns the largest per-attribute bin count — useful for
+// computing dense item identifiers.
+func (dz *Discretizer) MaxBins() int {
+	max := 1
+	for j := range dz.cuts {
+		if b := dz.Bins(j); b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// Bin returns the bin index of value v on attribute j via binary search:
+// the smallest i with v ≤ cuts[i], or the last bin when v exceeds every
+// cut — implementing the documented (cuts[i−1], cuts[i]] intervals.
+func (dz *Discretizer) Bin(j int, v float64) int {
+	return sort.SearchFloat64s(dz.cuts[j], v)
+}
+
+// Transform maps a record to its per-attribute bin indices.
+func (dz *Discretizer) Transform(x mat.Vector) ([]int, error) {
+	if len(x) != len(dz.cuts) {
+		return nil, fmt.Errorf("discretize: record dimension %d, want %d", len(x), len(dz.cuts))
+	}
+	out := make([]int, len(x))
+	for j, v := range x {
+		out[j] = dz.Bin(j, v)
+	}
+	return out, nil
+}
+
+// TransformAll maps every record to bin indices.
+func (dz *Discretizer) TransformAll(records []mat.Vector) ([][]int, error) {
+	out := make([][]int, len(records))
+	for i, x := range records {
+		t, err := dz.Transform(x)
+		if err != nil {
+			return nil, fmt.Errorf("discretize: record %d: %w", i, err)
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// Items converts a record into a transaction of dense item identifiers:
+// item = attribute · maxBins + bin. All attributes contribute one item, so
+// a transaction always has Dim() items.
+func (dz *Discretizer) Items(x mat.Vector) ([]int, error) {
+	binsPer := dz.MaxBins()
+	bins, err := dz.Transform(x)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]int, len(bins))
+	for j, b := range bins {
+		items[j] = j*binsPer + b
+	}
+	return items, nil
+}
+
+// ItemsAll converts every record into a transaction.
+func (dz *Discretizer) ItemsAll(records []mat.Vector) ([][]int, error) {
+	out := make([][]int, len(records))
+	for i, x := range records {
+		items, err := dz.Items(x)
+		if err != nil {
+			return nil, fmt.Errorf("discretize: record %d: %w", i, err)
+		}
+		out[i] = items
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package discretize
+
+import (
+	"math"
+	"testing"
+
+	"condensation/internal/mat"
+	"condensation/internal/rng"
+)
+
+func TestEquiWidthBins(t *testing.T) {
+	recs := []mat.Vector{{0}, {10}, {5}, {2.5}}
+	dz, err := EquiWidth(recs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dz.Dim() != 1 || dz.Bins(0) != 4 {
+		t.Fatalf("Dim=%d Bins=%d", dz.Dim(), dz.Bins(0))
+	}
+	cases := map[float64]int{0: 0, 2.4: 0, 2.6: 1, 5.0: 1, 5.1: 2, 7.6: 3, 10: 3, 99: 3, -5: 0}
+	for v, want := range cases {
+		if got := dz.Bin(0, v); got != want {
+			t.Errorf("Bin(%g) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestEquiWidthConstantAttribute(t *testing.T) {
+	recs := []mat.Vector{{7, 1}, {7, 2}, {7, 3}}
+	dz, err := EquiWidth(recs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dz.Bins(0) != 1 {
+		t.Errorf("constant attribute has %d bins, want 1", dz.Bins(0))
+	}
+	if dz.Bins(1) != 3 {
+		t.Errorf("varying attribute has %d bins, want 3", dz.Bins(1))
+	}
+}
+
+func TestEquiDepthBalanced(t *testing.T) {
+	r := rng.New(1)
+	recs := make([]mat.Vector, 1000)
+	for i := range recs {
+		recs[i] = mat.Vector{r.Exp(1)} // heavily skewed
+	}
+	dz, err := EquiDepth(recs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, dz.Bins(0))
+	for _, x := range recs {
+		counts[dz.Bin(0, x[0])]++
+	}
+	for b, c := range counts {
+		if c < 150 || c > 350 {
+			t.Errorf("equi-depth bin %d holds %d of 1000 records", b, c)
+		}
+	}
+}
+
+func TestEquiDepthTiedData(t *testing.T) {
+	recs := []mat.Vector{{1}, {1}, {1}, {1}, {2}}
+	dz, err := EquiDepth(recs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ties collapse cuts; bin count must still be at least 1 and at most 4.
+	if b := dz.Bins(0); b < 1 || b > 4 {
+		t.Errorf("Bins = %d", b)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := EquiWidth(nil, 3); err == nil {
+		t.Error("empty records accepted")
+	}
+	if _, err := EquiWidth([]mat.Vector{{1}}, 1); err == nil {
+		t.Error("1 bin accepted")
+	}
+	if _, err := EquiWidth([]mat.Vector{{}}, 3); err == nil {
+		t.Error("zero-dim accepted")
+	}
+	if _, err := EquiWidth([]mat.Vector{{1, 2}, {1}}, 3); err == nil {
+		t.Error("ragged accepted")
+	}
+	if _, err := EquiDepth([]mat.Vector{{math.NaN()}}, 3); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestTransform(t *testing.T) {
+	recs := []mat.Vector{{0, 0}, {10, 100}}
+	dz, err := EquiWidth(recs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins, err := dz.Transform(mat.Vector{7, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bins[0] != 1 || bins[1] != 0 {
+		t.Errorf("Transform = %v, want [1 0]", bins)
+	}
+	if _, err := dz.Transform(mat.Vector{1}); err == nil {
+		t.Error("wrong dimension accepted")
+	}
+}
+
+func TestTransformAll(t *testing.T) {
+	recs := []mat.Vector{{0}, {10}}
+	dz, err := EquiWidth(recs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := dz.TransformAll(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 || all[0][0] != 0 || all[1][0] != 1 {
+		t.Errorf("TransformAll = %v", all)
+	}
+}
+
+func TestItemsDistinctAcrossAttributes(t *testing.T) {
+	recs := []mat.Vector{{0, 0}, {10, 10}}
+	dz, err := EquiWidth(recs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := dz.Items(mat.Vector{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both attributes are in bin 0, but the item ids must differ.
+	if items[0] == items[1] {
+		t.Errorf("Items = %v, want distinct ids per attribute", items)
+	}
+	all, err := dz.ItemsAll(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("ItemsAll returned %d transactions", len(all))
+	}
+}
+
+func TestMaxBins(t *testing.T) {
+	recs := []mat.Vector{{7, 0}, {7, 10}}
+	dz, err := EquiWidth(recs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dz.MaxBins() != 5 {
+		t.Errorf("MaxBins = %d, want 5", dz.MaxBins())
+	}
+}

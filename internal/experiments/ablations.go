@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"condensation/internal/core"
+	"condensation/internal/dataset"
+	"condensation/internal/metrics"
+	"condensation/internal/rng"
+)
+
+// SplitAxisAblation quantifies the value of the paper's principal-axis
+// split choice: dynamic condensation is run once with principal-axis
+// splits and once with random-axis splits, reporting accuracy and µ per
+// group size. Per the paper's argument, the principal axis minimizes child
+// group variance and therefore preserves locality better.
+func SplitAxisAblation(ds *dataset.Dataset, cfg Config) (*Table, error) {
+	cfg.fill()
+	t := &Table{
+		Title:   "Ablation — dynamic split axis: principal (paper) vs random",
+		Columns: []string{"k", "principal_accuracy", "random_accuracy", "principal_mu", "random_mu"},
+	}
+	root := rng.New(cfg.Seed)
+	for _, k := range cfg.GroupSizes {
+		var accP, accR, muP, muR float64
+		for rep := 0; rep < cfg.Repetitions; rep++ {
+			r := root.Split()
+			train, test, err := ds.TrainTestSplit(cfg.TrainFraction, r)
+			if err != nil {
+				return nil, err
+			}
+			for _, axis := range []core.SplitAxis{core.SplitPrincipal, core.SplitRandom} {
+				c := cfg
+				c.Options.SplitAxis = axis
+				acc, _, err := anonymizeAndEvaluate(train, test, c, k, core.ModeDynamic, r.Split())
+				if err != nil {
+					return nil, err
+				}
+				mu, _, err := anonymizeAndCompare(ds, c, k, core.ModeDynamic, r.Split())
+				if err != nil {
+					return nil, err
+				}
+				if axis == core.SplitPrincipal {
+					accP += acc
+					muP += mu
+				} else {
+					accR += acc
+					muR += mu
+				}
+			}
+		}
+		reps := float64(cfg.Repetitions)
+		if err := t.AddRow(d(k), f(accP/reps), f(accR/reps), f(muP/reps), f(muR/reps)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// SynthesisAblation compares the paper's uniform eigen-synthesis with the
+// Gaussian variant on static condensation: both match the group's first
+// two moments, so accuracy and µ should be close; the uniform variant's
+// bounded support keeps synthesized points inside the group locality.
+func SynthesisAblation(ds *dataset.Dataset, cfg Config) (*Table, error) {
+	cfg.fill()
+	t := &Table{
+		Title:   "Ablation — synthesis distribution: uniform (paper) vs gaussian",
+		Columns: []string{"k", "uniform_accuracy", "gaussian_accuracy", "uniform_mu", "gaussian_mu"},
+	}
+	root := rng.New(cfg.Seed)
+	for _, k := range cfg.GroupSizes {
+		var accU, accG, muU, muG float64
+		for rep := 0; rep < cfg.Repetitions; rep++ {
+			r := root.Split()
+			train, test, err := ds.TrainTestSplit(cfg.TrainFraction, r)
+			if err != nil {
+				return nil, err
+			}
+			for _, synth := range []core.Synthesis{core.SynthesisUniform, core.SynthesisGaussian} {
+				c := cfg
+				c.Options.Synthesis = synth
+				acc, _, err := anonymizeAndEvaluate(train, test, c, k, core.ModeStatic, r.Split())
+				if err != nil {
+					return nil, err
+				}
+				mu, _, err := anonymizeAndCompare(ds, c, k, core.ModeStatic, r.Split())
+				if err != nil {
+					return nil, err
+				}
+				if synth == core.SynthesisUniform {
+					accU += acc
+					muU += mu
+				} else {
+					accG += acc
+					muG += mu
+				}
+			}
+		}
+		reps := float64(cfg.Repetitions)
+		if err := t.AddRow(d(k), f(accU/reps), f(accG/reps), f(muU/reps), f(muG/reps)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// LeftoverAblation measures the cost of the paper's leftover policy
+// (absorb stragglers into their nearest groups) against keeping them as an
+// undersized group, which would break the k-indistinguishability promise.
+// It reports the achieved minimum group size and accuracy for both.
+func LeftoverAblation(ds *dataset.Dataset, cfg Config) (*Table, error) {
+	cfg.fill()
+	t := &Table{
+		Title:   "Ablation — static leftover policy: nearest-group (paper) vs own-group",
+		Columns: []string{"k", "nearest_min_size", "own_min_size", "nearest_accuracy", "own_accuracy"},
+	}
+	root := rng.New(cfg.Seed)
+	for _, k := range cfg.GroupSizes {
+		var minN, minO int
+		var accN, accO float64
+		for rep := 0; rep < cfg.Repetitions; rep++ {
+			r := root.Split()
+			train, test, err := ds.TrainTestSplit(cfg.TrainFraction, r)
+			if err != nil {
+				return nil, err
+			}
+			for _, pol := range []core.Leftover{core.LeftoverNearestGroup, core.LeftoverOwnGroup} {
+				c := cfg
+				c.Options.Leftover = pol
+				anon, report, err := core.Anonymize(train, core.AnonymizeConfig{
+					K: k, Mode: core.ModeStatic, Options: c.Options,
+				}, r.Split())
+				if err != nil {
+					return nil, err
+				}
+				acc, err := evaluate(anon, test, c)
+				if err != nil {
+					return nil, err
+				}
+				minSize := minGroupSize(report)
+				if pol == core.LeftoverNearestGroup {
+					accN += acc
+					if rep == 0 || minSize < minN {
+						minN = minSize
+					}
+				} else {
+					accO += acc
+					if rep == 0 || minSize < minO {
+						minO = minSize
+					}
+				}
+			}
+		}
+		reps := float64(cfg.Repetitions)
+		if err := t.AddRow(d(k), d(minN), d(minO), f(accN/reps), f(accO/reps)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func minGroupSize(report *core.Report) int {
+	min := 0
+	for i, cr := range report.Classes {
+		if i == 0 || cr.MinGroupSize < min {
+			min = cr.MinGroupSize
+		}
+	}
+	return min
+}
+
+// ClusteringStudy checks the paper's "other data mining problems" remark:
+// k-means centers found on anonymized data are matched against centers
+// found on the original data; the mean center displacement (normalized by
+// the data spread) is reported per group size.
+func ClusteringStudy(ds *dataset.Dataset, clusters int, cfg Config) (*Table, error) {
+	cfg.fill()
+	t := &Table{
+		Title:   "Extension — k-means utility preservation on condensed data",
+		Columns: []string{"k", "center_displacement", "inertia_original", "inertia_anonymized"},
+	}
+	root := rng.New(cfg.Seed)
+	for _, k := range cfg.GroupSizes {
+		var disp, inOrig, inAnon float64
+		for rep := 0; rep < cfg.Repetitions; rep++ {
+			r := root.Split()
+			anon, _, err := core.Anonymize(ds, core.AnonymizeConfig{
+				K: k, Mode: core.ModeStatic, Options: cfg.Options,
+			}, r.Split())
+			if err != nil {
+				return nil, err
+			}
+			resOrig, err := clusterRecords(ds, clusters, r.Split())
+			if err != nil {
+				return nil, err
+			}
+			resAnon, err := clusterRecords(anon, clusters, r.Split())
+			if err != nil {
+				return nil, err
+			}
+			dsp, err := matchCenters(resOrig.Centers, resAnon.Centers)
+			if err != nil {
+				return nil, err
+			}
+			disp += dsp
+			inOrig += resOrig.Inertia
+			inAnon += resAnon.Inertia
+		}
+		reps := float64(cfg.Repetitions)
+		if err := t.AddRow(d(k), f(disp/reps), f(inOrig/reps), f(inAnon/reps)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// CompatibilityOnly computes µ for one mode across group sizes — used by
+// benches that only need a single series.
+func CompatibilityOnly(ds *dataset.Dataset, cfg Config, mode core.Mode) (map[int]float64, error) {
+	cfg.fill()
+	root := rng.New(cfg.Seed)
+	out := make(map[int]float64, len(cfg.GroupSizes))
+	for _, k := range cfg.GroupSizes {
+		mu, _, err := anonymizeAndCompare(ds, cfg, k, mode, root.Split())
+		if err != nil {
+			return nil, err
+		}
+		out[k] = mu
+	}
+	return out, nil
+}
+
+// muBetween is a convenience wrapper for µ between two record sets.
+func muBetween(a, b *dataset.Dataset) (float64, error) {
+	return metrics.CovarianceCompatibility(a.X, b.X)
+}

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"condensation/internal/core"
+	"condensation/internal/dataset"
+	"condensation/internal/knn"
+	"condensation/internal/metrics"
+	"condensation/internal/rng"
+)
+
+// Config tunes the figure-regeneration experiments.
+type Config struct {
+	// Seed makes the whole experiment deterministic.
+	Seed uint64
+	// GroupSizes is the x-axis of every figure: the indistinguishability
+	// levels k to sweep. Defaults to the paper's visible range.
+	GroupSizes []int
+	// TrainFraction is the train/test split ratio (default 0.75).
+	TrainFraction float64
+	// Repetitions averages each point over this many independent splits
+	// and condensations (default 3), smoothing sampling noise.
+	Repetitions int
+	// ClassifierK is the nearest-neighbour k (default 1, the paper's
+	// "class label of the closest record").
+	ClassifierK int
+	// Tolerance is the regression hit tolerance (default 1, the paper's
+	// "within one year" for Abalone).
+	Tolerance float64
+	// InitialFraction is passed through to dynamic condensation.
+	InitialFraction float64
+	// Options tunes the condensation itself (synthesis, split axis, ...).
+	Options core.Options
+}
+
+func (c *Config) fill() {
+	if len(c.GroupSizes) == 0 {
+		c.GroupSizes = []int{2, 5, 10, 15, 20, 25, 30, 40, 50}
+	}
+	if c.TrainFraction <= 0 || c.TrainFraction >= 1 {
+		c.TrainFraction = 0.75
+	}
+	if c.Repetitions <= 0 {
+		c.Repetitions = 3
+	}
+	if c.ClassifierK <= 0 {
+		c.ClassifierK = 1
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 1
+	}
+}
+
+// AccuracyPoint is one x-position of a figure's panel (a).
+type AccuracyPoint struct {
+	// K is the requested indistinguishability level.
+	K int
+	// AvgGroupSize is the achieved average group size (the paper's
+	// x-coordinate).
+	AvgGroupSize float64
+	// Static, Dynamic, and Original are the three accuracy series.
+	Static, Dynamic, Original float64
+}
+
+// CompatPoint is one x-position of a figure's panel (b).
+type CompatPoint struct {
+	// K is the requested indistinguishability level.
+	K int
+	// AvgGroupSize is the achieved average group size.
+	AvgGroupSize float64
+	// Static and Dynamic are the covariance compatibility µ series.
+	Static, Dynamic float64
+}
+
+// AccuracyCurve reproduces a figure's panel (a): classifier accuracy as a
+// function of the average condensation group size, with static
+// condensation, dynamic condensation, and the no-perturbation original as
+// the three series. The classifier is trained on (possibly anonymized)
+// training data and always evaluated on untouched original test data.
+func AccuracyCurve(ds *dataset.Dataset, cfg Config) ([]AccuracyPoint, error) {
+	cfg.fill()
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	root := rng.New(cfg.Seed)
+	points := make([]AccuracyPoint, 0, len(cfg.GroupSizes))
+	for _, k := range cfg.GroupSizes {
+		var point AccuracyPoint
+		point.K = k
+		var avgSum float64
+		for rep := 0; rep < cfg.Repetitions; rep++ {
+			r := root.Split()
+			train, test, err := ds.TrainTestSplit(cfg.TrainFraction, r)
+			if err != nil {
+				return nil, err
+			}
+			orig, err := evaluate(train, test, cfg)
+			if err != nil {
+				return nil, err
+			}
+			staticAcc, _, err := anonymizeAndEvaluate(train, test, cfg, k, core.ModeStatic, r)
+			if err != nil {
+				return nil, err
+			}
+			dynAcc, avg, err := anonymizeAndEvaluate(train, test, cfg, k, core.ModeDynamic, r)
+			if err != nil {
+				return nil, err
+			}
+			point.Original += orig
+			point.Static += staticAcc
+			point.Dynamic += dynAcc
+			avgSum += avg
+		}
+		reps := float64(cfg.Repetitions)
+		point.Original /= reps
+		point.Static /= reps
+		point.Dynamic /= reps
+		point.AvgGroupSize = avgSum / reps
+		points = append(points, point)
+	}
+	return points, nil
+}
+
+// anonymizeAndEvaluate condenses the training data at level k in the given
+// mode and scores the resulting classifier on the original test data.
+func anonymizeAndEvaluate(train, test *dataset.Dataset, cfg Config, k int, mode core.Mode, r *rng.Source) (acc, avgGroupSize float64, err error) {
+	anon, report, err := core.Anonymize(train, core.AnonymizeConfig{
+		K:               k,
+		Mode:            mode,
+		Options:         cfg.Options,
+		InitialFraction: cfg.InitialFraction,
+	}, r)
+	if err != nil {
+		return 0, 0, err
+	}
+	acc, err = evaluate(anon, test, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	return acc, report.AvgGroupSize(), nil
+}
+
+// evaluate trains the paper's classifier (or regressor) on train and
+// scores it on test: accuracy for classification, within-tolerance rate
+// for regression.
+func evaluate(train, test *dataset.Dataset, cfg Config) (float64, error) {
+	switch train.Task {
+	case dataset.Classification:
+		clf, err := knn.NewClassifier(train, cfg.ClassifierK)
+		if err != nil {
+			return 0, err
+		}
+		preds, err := clf.PredictAll(test)
+		if err != nil {
+			return 0, err
+		}
+		return metrics.Accuracy(preds, test.Labels)
+	case dataset.Regression:
+		reg, err := knn.NewRegressor(train, cfg.ClassifierK)
+		if err != nil {
+			return 0, err
+		}
+		preds, err := reg.PredictAll(test)
+		if err != nil {
+			return 0, err
+		}
+		return metrics.WithinTolerance(preds, test.Targets, cfg.Tolerance)
+	default:
+		return 0, fmt.Errorf("experiments: unsupported task %v", train.Task)
+	}
+}
+
+// CompatibilityCurve reproduces a figure's panel (b): the covariance
+// compatibility coefficient µ between the original data set and its
+// anonymized counterpart, for static and dynamic condensation, as a
+// function of average group size. Per the paper, the comparison is over
+// the whole data set's covariance structure.
+func CompatibilityCurve(ds *dataset.Dataset, cfg Config) ([]CompatPoint, error) {
+	cfg.fill()
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	if ds.Len() == 0 {
+		return nil, errors.New("experiments: empty data set")
+	}
+	root := rng.New(cfg.Seed)
+	points := make([]CompatPoint, 0, len(cfg.GroupSizes))
+	for _, k := range cfg.GroupSizes {
+		var point CompatPoint
+		point.K = k
+		var avgSum float64
+		for rep := 0; rep < cfg.Repetitions; rep++ {
+			r := root.Split()
+			muStatic, _, err := anonymizeAndCompare(ds, cfg, k, core.ModeStatic, r)
+			if err != nil {
+				return nil, err
+			}
+			muDynamic, avg, err := anonymizeAndCompare(ds, cfg, k, core.ModeDynamic, r)
+			if err != nil {
+				return nil, err
+			}
+			point.Static += muStatic
+			point.Dynamic += muDynamic
+			avgSum += avg
+		}
+		reps := float64(cfg.Repetitions)
+		point.Static /= reps
+		point.Dynamic /= reps
+		point.AvgGroupSize = avgSum / reps
+		points = append(points, point)
+	}
+	return points, nil
+}
+
+// anonymizeAndCompare anonymizes the full data set and computes µ between
+// original and anonymized records.
+func anonymizeAndCompare(ds *dataset.Dataset, cfg Config, k int, mode core.Mode, r *rng.Source) (mu, avgGroupSize float64, err error) {
+	anon, report, err := core.Anonymize(ds, core.AnonymizeConfig{
+		K:               k,
+		Mode:            mode,
+		Options:         cfg.Options,
+		InitialFraction: cfg.InitialFraction,
+	}, r)
+	if err != nil {
+		return 0, 0, err
+	}
+	mu, err = metrics.CovarianceCompatibility(ds.X, anon.X)
+	if err != nil {
+		return 0, 0, err
+	}
+	return mu, report.AvgGroupSize(), nil
+}
+
+// AccuracyTable renders an accuracy curve as a figure table.
+func AccuracyTable(title string, points []AccuracyPoint) *Table {
+	t := &Table{
+		Title:   title,
+		Columns: []string{"k", "avg_group_size", "static_accuracy", "dynamic_accuracy", "original_accuracy"},
+	}
+	for _, p := range points {
+		// Row shapes are fixed here, so AddRow cannot fail.
+		_ = t.AddRow(d(p.K), f1(p.AvgGroupSize), f(p.Static), f(p.Dynamic), f(p.Original))
+	}
+	return t
+}
+
+// CompatibilityTable renders a compatibility curve as a figure table.
+func CompatibilityTable(title string, points []CompatPoint) *Table {
+	t := &Table{
+		Title:   title,
+		Columns: []string{"k", "avg_group_size", "static_mu", "dynamic_mu"},
+	}
+	for _, p := range points {
+		_ = t.AddRow(d(p.K), f1(p.AvgGroupSize), f(p.Static), f(p.Dynamic))
+	}
+	return t
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"condensation/internal/datagen"
+	"condensation/internal/dataset"
+)
+
+// Figure identifies one panel of the paper's evaluation.
+type Figure struct {
+	// ID is the panel identifier, e.g. "5a".
+	ID string
+	// Dataset names the data set the panel evaluates.
+	Dataset string
+	// Panel is 'a' (accuracy) or 'b' (covariance compatibility).
+	Panel byte
+	// Caption summarizes what the paper's figure shows.
+	Caption string
+}
+
+// figureIndex maps panel ids to the paper's figures: Figures 5–8 pair
+// (a) classifier accuracy and (b) covariance compatibility over the
+// Ionosphere, Ecoli, Pima Indian, and Abalone data sets.
+var figureIndex = map[string]Figure{
+	"5a": {"5a", "ionosphere", 'a', "Classifier accuracy vs average group size (Ionosphere)"},
+	"5b": {"5b", "ionosphere", 'b', "Covariance compatibility vs average group size (Ionosphere)"},
+	"6a": {"6a", "ecoli", 'a', "Classifier accuracy vs average group size (Ecoli)"},
+	"6b": {"6b", "ecoli", 'b', "Covariance compatibility vs average group size (Ecoli)"},
+	"7a": {"7a", "pima", 'a', "Classifier accuracy vs average group size (Pima Indian)"},
+	"7b": {"7b", "pima", 'b', "Covariance compatibility vs average group size (Pima Indian)"},
+	"8a": {"8a", "abalone", 'a', "Regression accuracy within one year vs average group size (Abalone)"},
+	"8b": {"8b", "abalone", 'b', "Covariance compatibility vs average group size (Abalone)"},
+}
+
+// FigureIDs lists the known panel ids in order.
+func FigureIDs() []string {
+	ids := make([]string, 0, len(figureIndex))
+	for id := range figureIndex {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// LookupFigure resolves a panel id.
+func LookupFigure(id string) (Figure, error) {
+	fig, ok := figureIndex[id]
+	if !ok {
+		return Figure{}, fmt.Errorf("experiments: unknown figure %q (known: %v)", id, FigureIDs())
+	}
+	return fig, nil
+}
+
+// RunFigure regenerates one panel of the paper's evaluation, generating
+// the synthetic data set itself from cfg.Seed.
+func RunFigure(id string, cfg Config) (*Table, error) {
+	fig, err := LookupFigure(id)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := datagen.ByName(fig.Dataset, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return RunFigureOn(fig, ds, cfg)
+}
+
+// RunFigureOn regenerates a panel against a caller-supplied data set
+// (useful for tests that need smaller data).
+func RunFigureOn(fig Figure, ds *dataset.Dataset, cfg Config) (*Table, error) {
+	title := fmt.Sprintf("Figure %s — %s", fig.ID, fig.Caption)
+	switch fig.Panel {
+	case 'a':
+		points, err := AccuracyCurve(ds, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return AccuracyTable(title, points), nil
+	case 'b':
+		points, err := CompatibilityCurve(ds, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return CompatibilityTable(title, points), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown panel %q", string(fig.Panel))
+	}
+}

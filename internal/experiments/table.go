@@ -1,0 +1,95 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Figures 5–8, panels (a) classification accuracy and (b) covariance
+// compatibility, across the four data sets), plus the ablation and
+// baseline studies described in DESIGN.md. The harness produces Table
+// values that render as aligned text or CSV, so the same code backs the
+// cmd/experiments binary and the bench suite.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result: a title, column headers, and
+// string cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, which must match the column count.
+func (t *Table) AddRow(cells ...string) error {
+	if len(cells) != len(t.Columns) {
+		return fmt.Errorf("experiments: row with %d cells for %d columns", len(cells), len(t.Columns))
+	}
+	t.Rows = append(t.Rows, cells)
+	return nil
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+		return err
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		_, err := fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(t.Columns); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.Columns))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(rule); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes the table as RFC-4180-ish CSV (cells produced by this package
+// never contain commas or quotes, so no escaping is needed).
+func (t *Table) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n", strings.Join(t.Columns, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "%s\n", strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// f formats a float cell with 4 significant decimals.
+func f(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// d formats an int cell.
+func d(v int) string { return fmt.Sprintf("%d", v) }
+
+// f1 formats a float cell with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -1,0 +1,193 @@
+// Package kanon implements a multidimensional k-anonymity baseline in the
+// spirit of Samarati & Sweeney's model, using Mondrian-style greedy median
+// partitioning over numeric attributes. The condensation paper positions
+// k-anonymity as the alternative indistinguishability model whose reliance
+// on domain generalization hierarchies limits it; for numeric data the
+// standard hierarchy-free variant is multidimensional range generalization,
+// which is what this package provides as a comparison point.
+//
+// Each equivalence class (partition) holds at least k records; a record is
+// published as its class's bounding box (or, for distance-based mining, the
+// class centroid). Information loss is quantified by the normalized
+// certainty penalty (NCP).
+package kanon
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"condensation/internal/mat"
+)
+
+// Partition is one k-anonymous equivalence class: the records it contains
+// and its attribute-aligned bounding box.
+type Partition struct {
+	// Indices identifies the member records in the original order.
+	Indices []int
+	// Min and Max bound the members per attribute.
+	Min, Max mat.Vector
+}
+
+// Size returns the number of member records.
+func (p *Partition) Size() int { return len(p.Indices) }
+
+// Centroid returns the box mid-point, the published representative for
+// distance-based mining.
+func (p *Partition) Centroid() mat.Vector {
+	c := make(mat.Vector, len(p.Min))
+	for j := range c {
+		c[j] = (p.Min[j] + p.Max[j]) / 2
+	}
+	return c
+}
+
+// Mondrian partitions the records into equivalence classes of at least k
+// members using greedy top-down median cuts: at each step the attribute
+// with the widest range (normalized by the global range) is cut at its
+// median, as long as both sides keep at least k records.
+func Mondrian(records []mat.Vector, k int) ([]Partition, error) {
+	if len(records) == 0 {
+		return nil, errors.New("kanon: no records")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("kanon: k = %d, must be ≥ 1", k)
+	}
+	d := len(records[0])
+	if d == 0 {
+		return nil, errors.New("kanon: zero-dimensional records")
+	}
+	for i, x := range records {
+		if len(x) != d {
+			return nil, fmt.Errorf("kanon: record %d has dimension %d, want %d", i, len(x), d)
+		}
+		if !x.IsFinite() {
+			return nil, fmt.Errorf("kanon: record %d has non-finite values", i)
+		}
+	}
+	globalMin, globalMax := bounds(records, allIndices(len(records)))
+	var out []Partition
+	var recurse func(idx []int)
+	recurse = func(idx []int) {
+		axis, ok := chooseAxis(records, idx, globalMin, globalMax)
+		if ok {
+			left, right := medianSplit(records, idx, axis)
+			if len(left) >= k && len(right) >= k {
+				recurse(left)
+				recurse(right)
+				return
+			}
+		}
+		lo, hi := bounds(records, idx)
+		out = append(out, Partition{Indices: idx, Min: lo, Max: hi})
+	}
+	recurse(allIndices(len(records)))
+	return out, nil
+}
+
+// chooseAxis picks the attribute with the widest normalized range in the
+// partition. ok is false when every attribute is constant (nothing to cut).
+func chooseAxis(records []mat.Vector, idx []int, globalMin, globalMax mat.Vector) (int, bool) {
+	lo, hi := bounds(records, idx)
+	best, bestSpread, ok := 0, 0.0, false
+	for j := range lo {
+		denom := globalMax[j] - globalMin[j]
+		if denom == 0 {
+			continue
+		}
+		spread := (hi[j] - lo[j]) / denom
+		if spread > bestSpread {
+			best, bestSpread, ok = j, spread, true
+		}
+	}
+	return best, ok
+}
+
+// medianSplit cuts the partition at the median of the chosen attribute.
+// Records equal to the median go left until the left side holds half the
+// records, keeping the split balanced under ties.
+func medianSplit(records []mat.Vector, idx []int, axis int) (left, right []int) {
+	sorted := append([]int(nil), idx...)
+	sort.SliceStable(sorted, func(a, b int) bool {
+		return records[sorted[a]][axis] < records[sorted[b]][axis]
+	})
+	mid := len(sorted) / 2
+	return sorted[:mid], sorted[mid:]
+}
+
+// bounds returns the per-attribute min and max over the indexed records.
+func bounds(records []mat.Vector, idx []int) (lo, hi mat.Vector) {
+	d := len(records[idx[0]])
+	lo = records[idx[0]].Clone()
+	hi = records[idx[0]].Clone()
+	for _, i := range idx[1:] {
+		for j := 0; j < d; j++ {
+			if v := records[i][j]; v < lo[j] {
+				lo[j] = v
+			} else if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+func allIndices(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// Generalize publishes every record as its partition's centroid, returning
+// the generalized records in the original order.
+func Generalize(records []mat.Vector, parts []Partition) ([]mat.Vector, error) {
+	out := make([]mat.Vector, len(records))
+	for pi := range parts {
+		c := parts[pi].Centroid()
+		for _, i := range parts[pi].Indices {
+			if i < 0 || i >= len(records) {
+				return nil, fmt.Errorf("kanon: partition %d references record %d of %d", pi, i, len(records))
+			}
+			if out[i] != nil {
+				return nil, fmt.Errorf("kanon: record %d appears in multiple partitions", i)
+			}
+			out[i] = c.Clone()
+		}
+	}
+	for i, x := range out {
+		if x == nil {
+			return nil, fmt.Errorf("kanon: record %d not covered by any partition", i)
+		}
+	}
+	return out, nil
+}
+
+// NCP returns the normalized certainty penalty of a partitioning: the
+// record-weighted mean over partitions of the sum of per-attribute range
+// fractions. 0 means no generalization (point classes); d·1 would mean
+// every class spans the full data range on every attribute. The value is
+// normalized by d to lie in [0, 1].
+func NCP(records []mat.Vector, parts []Partition) (float64, error) {
+	if len(records) == 0 || len(parts) == 0 {
+		return 0, errors.New("kanon: empty records or partitions")
+	}
+	globalMin, globalMax := bounds(records, allIndices(len(records)))
+	d := len(globalMin)
+	var weighted float64
+	var total int
+	for _, p := range parts {
+		var sum float64
+		for j := 0; j < d; j++ {
+			denom := globalMax[j] - globalMin[j]
+			if denom == 0 {
+				continue
+			}
+			sum += (p.Max[j] - p.Min[j]) / denom
+		}
+		weighted += sum / float64(d) * float64(p.Size())
+		total += p.Size()
+	}
+	return weighted / float64(total), nil
+}

@@ -1,0 +1,228 @@
+package kanon
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"condensation/internal/mat"
+	"condensation/internal/rng"
+)
+
+func randomRecords(seed uint64, n, d int) []mat.Vector {
+	r := rng.New(seed)
+	out := make([]mat.Vector, n)
+	for i := range out {
+		x := make(mat.Vector, d)
+		for j := range x {
+			x[j] = r.Uniform(-5, 5)
+		}
+		out[i] = x
+	}
+	return out
+}
+
+func TestMondrianMinimumSize(t *testing.T) {
+	recs := randomRecords(1, 100, 3)
+	for _, k := range []int{1, 2, 5, 10, 33} {
+		parts, err := Mondrian(recs, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		total := 0
+		for i, p := range parts {
+			if p.Size() < k {
+				t.Errorf("k=%d: partition %d has %d < k records", k, i, p.Size())
+			}
+			total += p.Size()
+		}
+		if total != len(recs) {
+			t.Errorf("k=%d: partitions cover %d records, want %d", k, total, len(recs))
+		}
+	}
+}
+
+func TestMondrianCoversEachRecordOnce(t *testing.T) {
+	recs := randomRecords(2, 60, 2)
+	parts, err := Mondrian(recs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, len(recs))
+	for _, p := range parts {
+		for _, i := range p.Indices {
+			if seen[i] {
+				t.Fatalf("record %d in multiple partitions", i)
+			}
+			seen[i] = true
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("record %d not covered", i)
+		}
+	}
+}
+
+func TestMondrianBoxesContainMembers(t *testing.T) {
+	recs := randomRecords(3, 80, 4)
+	parts, err := Mondrian(recs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi, p := range parts {
+		for _, i := range p.Indices {
+			for j := range recs[i] {
+				if recs[i][j] < p.Min[j] || recs[i][j] > p.Max[j] {
+					t.Fatalf("partition %d does not contain its member %d on axis %d", pi, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestMondrianK1SplitsFully(t *testing.T) {
+	recs := randomRecords(4, 16, 2)
+	parts, err := Mondrian(recs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With k=1 and continuous data, cuts continue until singleton
+	// partitions (ties aside).
+	if len(parts) != 16 {
+		t.Errorf("%d partitions for k=1, want 16", len(parts))
+	}
+}
+
+func TestMondrianConstantData(t *testing.T) {
+	recs := []mat.Vector{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	parts, err := Mondrian(recs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 1 {
+		t.Errorf("%d partitions of constant data, want 1 (no axis to cut)", len(parts))
+	}
+}
+
+func TestMondrianErrors(t *testing.T) {
+	if _, err := Mondrian(nil, 2); err == nil {
+		t.Error("empty records accepted")
+	}
+	if _, err := Mondrian(randomRecords(5, 4, 2), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Mondrian([]mat.Vector{{}}, 1); err == nil {
+		t.Error("zero-dimensional records accepted")
+	}
+	if _, err := Mondrian([]mat.Vector{{1, 2}, {1}}, 1); err == nil {
+		t.Error("ragged records accepted")
+	}
+	if _, err := Mondrian([]mat.Vector{{math.NaN()}}, 1); err == nil {
+		t.Error("NaN records accepted")
+	}
+}
+
+func TestGeneralize(t *testing.T) {
+	recs := randomRecords(6, 40, 3)
+	parts, err := Mondrian(recs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := Generalize(recs, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gen) != len(recs) {
+		t.Fatalf("%d generalized records, want %d", len(gen), len(recs))
+	}
+	// All members of one partition share the same published value.
+	for _, p := range parts {
+		first := gen[p.Indices[0]]
+		for _, i := range p.Indices[1:] {
+			if !gen[i].Equal(first, 0) {
+				t.Fatalf("partition members published differently")
+			}
+		}
+	}
+}
+
+func TestGeneralizeBadPartitions(t *testing.T) {
+	recs := randomRecords(7, 4, 2)
+	bad := []Partition{{Indices: []int{0, 1, 9}, Min: mat.Vector{0, 0}, Max: mat.Vector{1, 1}}}
+	if _, err := Generalize(recs, bad); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	dup := []Partition{
+		{Indices: []int{0, 1}, Min: mat.Vector{0, 0}, Max: mat.Vector{1, 1}},
+		{Indices: []int{1, 2, 3}, Min: mat.Vector{0, 0}, Max: mat.Vector{1, 1}},
+	}
+	if _, err := Generalize(recs, dup); err == nil {
+		t.Error("duplicated coverage accepted")
+	}
+	missing := []Partition{{Indices: []int{0, 1}, Min: mat.Vector{0, 0}, Max: mat.Vector{1, 1}}}
+	if _, err := Generalize(recs, missing); err == nil {
+		t.Error("uncovered record accepted")
+	}
+}
+
+func TestNCPBoundsAndMonotonicity(t *testing.T) {
+	recs := randomRecords(8, 200, 3)
+	var prev float64 = -1
+	for _, k := range []int{2, 5, 20, 100} {
+		parts, err := Mondrian(recs, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ncp, err := NCP(recs, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ncp < 0 || ncp > 1 {
+			t.Errorf("k=%d: NCP = %g outside [0,1]", k, ncp)
+		}
+		if ncp < prev {
+			t.Errorf("k=%d: NCP %g decreased from %g — larger classes must lose more information", k, ncp, prev)
+		}
+		prev = ncp
+	}
+}
+
+func TestNCPErrors(t *testing.T) {
+	if _, err := NCP(nil, nil); err == nil {
+		t.Error("empty inputs accepted")
+	}
+}
+
+func TestPartitionCentroid(t *testing.T) {
+	p := Partition{Min: mat.Vector{0, -2}, Max: mat.Vector{4, 2}}
+	if !p.Centroid().Equal(mat.Vector{2, 0}, 0) {
+		t.Errorf("Centroid = %v", p.Centroid())
+	}
+}
+
+// Property: every Mondrian partitioning satisfies k-anonymity and exact
+// coverage for random inputs.
+func TestMondrianProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 10 + r.IntN(100)
+		k := 1 + r.IntN(10)
+		recs := randomRecords(seed+1, n, 1+r.IntN(4))
+		parts, err := Mondrian(recs, k)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, p := range parts {
+			if p.Size() < k {
+				return false
+			}
+			total += p.Size()
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,206 @@
+package knn
+
+import (
+	"math"
+	"testing"
+
+	"condensation/internal/dataset"
+	"condensation/internal/mat"
+	"condensation/internal/rng"
+)
+
+func twoClassData(seed uint64, perClass int) *dataset.Dataset {
+	r := rng.New(seed)
+	ds := &dataset.Dataset{
+		Name:       "two",
+		Attrs:      []string{"x", "y"},
+		ClassNames: []string{"a", "b"},
+		Task:       dataset.Classification,
+	}
+	for i := 0; i < perClass; i++ {
+		ds.X = append(ds.X, mat.Vector{r.Norm(), r.Norm()})
+		ds.Labels = append(ds.Labels, 0)
+		ds.X = append(ds.X, mat.Vector{8 + r.Norm(), 8 + r.Norm()})
+		ds.Labels = append(ds.Labels, 1)
+	}
+	return ds
+}
+
+func TestClassifierSeparableData(t *testing.T) {
+	train := twoClassData(1, 50)
+	test := twoClassData(2, 20)
+	for _, k := range []int{1, 3, 5} {
+		c, err := NewClassifier(train, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds, err := c.PredictAll(test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		correct := 0
+		for i, p := range preds {
+			if p == test.Labels[i] {
+				correct++
+			}
+		}
+		if correct != test.Len() {
+			t.Errorf("k=%d: %d/%d correct on separable data", k, correct, test.Len())
+		}
+	}
+}
+
+func TestClassifier1NNExactPoint(t *testing.T) {
+	train := twoClassData(3, 10)
+	c, err := NewClassifier(train, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Querying an exact training point must return its own label.
+	for i, x := range train.X {
+		got, err := c.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != train.Labels[i] {
+			// An exact duplicate with a different label may legitimately
+			// win the tie; only fail when the point is unique.
+			dup := false
+			for j, y := range train.X {
+				if j != i && y.Equal(x, 0) {
+					dup = true
+				}
+			}
+			if !dup {
+				t.Errorf("training point %d predicted %d, want %d", i, got, train.Labels[i])
+			}
+		}
+	}
+}
+
+func TestClassifierMajorityVote(t *testing.T) {
+	ds := &dataset.Dataset{
+		Task:   dataset.Classification,
+		X:      []mat.Vector{{0}, {1}, {2}, {10}},
+		Labels: []int{0, 0, 0, 1},
+	}
+	c, err := NewClassifier(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Predict(mat.Vector{1.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("majority vote = %d, want 0", got)
+	}
+}
+
+func TestClassifierErrors(t *testing.T) {
+	train := twoClassData(4, 5)
+	if _, err := NewClassifier(train, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	reg := &dataset.Dataset{Task: dataset.Regression, X: []mat.Vector{{1}}, Targets: []float64{1}}
+	if _, err := NewClassifier(reg, 1); err == nil {
+		t.Error("regression data accepted by classifier")
+	}
+	bad := twoClassData(5, 3)
+	bad.Labels = bad.Labels[:2]
+	if _, err := NewClassifier(bad, 1); err == nil {
+		t.Error("invalid training data accepted")
+	}
+	c, err := NewClassifier(train, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Predict(mat.Vector{1}); err == nil {
+		t.Error("wrong query dimension accepted")
+	}
+}
+
+func TestRegressorLinearData(t *testing.T) {
+	r := rng.New(6)
+	train := &dataset.Dataset{Task: dataset.Regression, Attrs: []string{"x"}}
+	for i := 0; i < 200; i++ {
+		x := r.Uniform(0, 10)
+		train.X = append(train.X, mat.Vector{x})
+		train.Targets = append(train.Targets, 3*x+1)
+	}
+	reg, err := NewRegressor(train, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{1, 5, 9} {
+		got, err := reg.Predict(mat.Vector{q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 3*q + 1
+		if math.Abs(got-want) > 0.5 {
+			t.Errorf("Predict(%g) = %g, want ≈ %g", q, got, want)
+		}
+	}
+}
+
+func TestRegressorPredictAll(t *testing.T) {
+	train := &dataset.Dataset{
+		Task:    dataset.Regression,
+		X:       []mat.Vector{{0}, {1}, {2}},
+		Targets: []float64{0, 10, 20},
+	}
+	reg, err := NewRegressor(train, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := &dataset.Dataset{
+		Task:    dataset.Regression,
+		X:       []mat.Vector{{0.1}, {1.9}},
+		Targets: []float64{0, 0},
+	}
+	got, err := reg.PredictAll(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 || got[1] != 20 {
+		t.Errorf("PredictAll = %v, want [0 20]", got)
+	}
+}
+
+func TestRegressorErrors(t *testing.T) {
+	train := &dataset.Dataset{Task: dataset.Regression, X: []mat.Vector{{1}}, Targets: []float64{1}}
+	if _, err := NewRegressor(train, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	cls := twoClassData(7, 3)
+	if _, err := NewRegressor(cls, 1); err == nil {
+		t.Error("classification data accepted by regressor")
+	}
+	reg, err := NewRegressor(train, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Predict(mat.Vector{1, 2}); err == nil {
+		t.Error("wrong query dimension accepted")
+	}
+}
+
+func TestRegressorAveragesK(t *testing.T) {
+	train := &dataset.Dataset{
+		Task:    dataset.Regression,
+		X:       []mat.Vector{{0}, {0.1}, {100}},
+		Targets: []float64{2, 4, 1000},
+	}
+	reg, err := NewRegressor(train, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reg.Predict(mat.Vector{0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("2-NN mean = %g, want 3", got)
+	}
+}

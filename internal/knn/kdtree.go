@@ -1,0 +1,185 @@
+// Package knn implements nearest-neighbour classification and regression —
+// the unmodified data mining algorithm the paper runs on condensed
+// (anonymized) data to demonstrate that condensation needs no
+// problem-specific algorithm redesign.
+//
+// Two search backends are provided: exact brute force, and an exact
+// KD-tree that is asymptotically faster in low-to-moderate dimension. Both
+// return identical results; the KD-tree simply prunes.
+package knn
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"condensation/internal/mat"
+)
+
+// kdNode is one node of a KD-tree over record indices.
+type kdNode struct {
+	idx         int // index into the backing points
+	axis        int
+	left, right *kdNode
+}
+
+// KDTree is an exact nearest-neighbour index over a fixed point set.
+type KDTree struct {
+	points []mat.Vector
+	root   *kdNode
+	dim    int
+}
+
+// NewKDTree builds a balanced KD-tree by recursive median splits. The
+// points slice is retained (not copied); callers must not mutate it.
+func NewKDTree(points []mat.Vector) (*KDTree, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("knn: empty point set")
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("knn: zero-dimensional points")
+	}
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("knn: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+		if !p.IsFinite() {
+			return nil, fmt.Errorf("knn: point %d has non-finite values", i)
+		}
+	}
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &KDTree{points: points, dim: dim}
+	t.root = t.build(idx, 0)
+	return t, nil
+}
+
+// build recursively constructs the subtree for the given indices.
+func (t *KDTree) build(idx []int, depth int) *kdNode {
+	if len(idx) == 0 {
+		return nil
+	}
+	axis := depth % t.dim
+	sort.Slice(idx, func(a, b int) bool {
+		return t.points[idx[a]][axis] < t.points[idx[b]][axis]
+	})
+	mid := len(idx) / 2
+	node := &kdNode{idx: idx[mid], axis: axis}
+	node.left = t.build(idx[:mid], depth+1)
+	node.right = t.build(idx[mid+1:], depth+1)
+	return node
+}
+
+// Len returns the number of indexed points.
+func (t *KDTree) Len() int { return len(t.points) }
+
+// Dim returns the dimensionality of the indexed points.
+func (t *KDTree) Dim() int { return t.dim }
+
+// Neighbor is one nearest-neighbour result.
+type Neighbor struct {
+	// Index identifies the point in the training order.
+	Index int
+	// DistSq is the squared Euclidean distance to the query.
+	DistSq float64
+}
+
+// neighborHeap is a max-heap on DistSq, so the current worst of the best-k
+// sits at the root and can be evicted in O(log k).
+type neighborHeap []Neighbor
+
+func (h neighborHeap) Len() int            { return len(h) }
+func (h neighborHeap) Less(i, j int) bool  { return h[i].DistSq > h[j].DistSq }
+func (h neighborHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *neighborHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *neighborHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Nearest returns the k nearest indexed points to the query, ordered by
+// ascending distance. If fewer than k points are indexed, all are
+// returned.
+func (t *KDTree) Nearest(query mat.Vector, k int) ([]Neighbor, error) {
+	if len(query) != t.dim {
+		return nil, fmt.Errorf("knn: query dimension %d, index dimension %d", len(query), t.dim)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("knn: k = %d, must be ≥ 1", k)
+	}
+	if k > len(t.points) {
+		k = len(t.points)
+	}
+	h := make(neighborHeap, 0, k+1)
+	t.search(t.root, query, k, &h)
+	out := make([]Neighbor, len(h))
+	copy(out, h)
+	sort.Slice(out, func(a, b int) bool { return out[a].DistSq < out[b].DistSq })
+	return out, nil
+}
+
+// search walks the tree, pruning subtrees whose bounding half-space cannot
+// contain a point closer than the current k-th best.
+func (t *KDTree) search(node *kdNode, query mat.Vector, k int, h *neighborHeap) {
+	if node == nil {
+		return
+	}
+	p := t.points[node.idx]
+	d := query.DistSq(p)
+	if h.Len() < k {
+		heap.Push(h, Neighbor{Index: node.idx, DistSq: d})
+	} else if d < (*h)[0].DistSq {
+		(*h)[0] = Neighbor{Index: node.idx, DistSq: d}
+		heap.Fix(h, 0)
+	}
+
+	diff := query[node.axis] - p[node.axis]
+	near, far := node.left, node.right
+	if diff > 0 {
+		near, far = far, near
+	}
+	t.search(near, query, k, h)
+	// Visit the far side only if the splitting plane is closer than the
+	// current k-th best distance (or the heap is not yet full).
+	if h.Len() < k || diff*diff < (*h)[0].DistSq {
+		t.search(far, query, k, h)
+	}
+}
+
+// BruteNearest performs exact k-nearest-neighbour search by linear scan —
+// the reference implementation the KD-tree is tested against, and the
+// faster choice for very small training sets.
+func BruteNearest(points []mat.Vector, query mat.Vector, k int) ([]Neighbor, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("knn: empty point set")
+	}
+	if len(query) != len(points[0]) {
+		return nil, fmt.Errorf("knn: query dimension %d, points dimension %d", len(query), len(points[0]))
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("knn: k = %d, must be ≥ 1", k)
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	h := make(neighborHeap, 0, k+1)
+	for i, p := range points {
+		d := query.DistSq(p)
+		if h.Len() < k {
+			heap.Push(&h, Neighbor{Index: i, DistSq: d})
+		} else if d < h[0].DistSq {
+			h[0] = Neighbor{Index: i, DistSq: d}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]Neighbor, len(h))
+	copy(out, h)
+	sort.Slice(out, func(a, b int) bool { return out[a].DistSq < out[b].DistSq })
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the matrix has a
+// non-positive pivot.
+var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular factor L with c = L·Lᵀ for a
+// symmetric positive-definite matrix. It is used by the Gaussian synthesis
+// ablation (the paper's synthesis is uniform along eigenvectors; the
+// Gaussian variant draws z ~ N(0, I) and returns mean + L·z).
+func Cholesky(c *Matrix) (*Matrix, error) {
+	d := c.Rows()
+	if c.Cols() != d {
+		return nil, fmt.Errorf("mat: Cholesky of non-square %dx%d matrix", d, c.Cols())
+	}
+	if !c.IsFinite() {
+		return nil, ErrNotFinite
+	}
+	l := New(d, d)
+	for i := 0; i < d; i++ {
+		for j := 0; j <= i; j++ {
+			sum := c.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, ErrNotPositiveDefinite
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveLower solves L·x = b for lower-triangular L by forward substitution.
+func SolveLower(l *Matrix, b Vector) (Vector, error) {
+	d := l.Rows()
+	if l.Cols() != d || len(b) != d {
+		return nil, fmt.Errorf("mat: SolveLower shape mismatch %dx%d, b %d", l.Rows(), l.Cols(), len(b))
+	}
+	x := make(Vector, d)
+	for i := 0; i < d; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l.At(i, k) * x[k]
+		}
+		piv := l.At(i, i)
+		if piv == 0 {
+			return nil, ErrNotPositiveDefinite
+		}
+		x[i] = sum / piv
+	}
+	return x, nil
+}
+
+// SolveUpper solves U·x = b for upper-triangular U by back substitution.
+func SolveUpper(u *Matrix, b Vector) (Vector, error) {
+	d := u.Rows()
+	if u.Cols() != d || len(b) != d {
+		return nil, fmt.Errorf("mat: SolveUpper shape mismatch %dx%d, b %d", u.Rows(), u.Cols(), len(b))
+	}
+	x := make(Vector, d)
+	for i := d - 1; i >= 0; i-- {
+		sum := b[i]
+		for k := i + 1; k < d; k++ {
+			sum -= u.At(i, k) * x[k]
+		}
+		piv := u.At(i, i)
+		if piv == 0 {
+			return nil, ErrNotPositiveDefinite
+		}
+		x[i] = sum / piv
+	}
+	return x, nil
+}
+
+// SolveSPD solves c·x = b for a symmetric positive-definite c via Cholesky.
+func SolveSPD(c *Matrix, b Vector) (Vector, error) {
+	l, err := Cholesky(c)
+	if err != nil {
+		return nil, err
+	}
+	y, err := SolveLower(l, b)
+	if err != nil {
+		return nil, err
+	}
+	return SolveUpper(l.T(), y)
+}

@@ -1,0 +1,97 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCholeskyKnown(t *testing.T) {
+	c := FromRows([][]float64{{4, 2}, {2, 3}})
+	l, err := Cholesky(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromRows([][]float64{{2, 0}, {1, 1.4142135623730951}})
+	if !l.Equal(want, 1e-12) {
+		t.Errorf("L = %v, want %v", l, want)
+	}
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for _, d := range []int{1, 2, 5, 12} {
+		c := randomSPD(r, d).Add(Identity(d).Scale(0.1)) // ensure strictly PD
+		l, err := Cholesky(c)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if !l.Mul(l.T()).Equal(c, 1e-9*(1+c.FrobeniusNorm())) {
+			t.Errorf("d=%d: LLᵀ != C", d)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	c := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3 and -1
+	if _, err := Cholesky(c); err == nil {
+		t.Error("indefinite matrix accepted")
+	}
+}
+
+func TestCholeskyRejectsNonSquare(t *testing.T) {
+	if _, err := Cholesky(New(2, 3)); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+}
+
+func TestCholeskyRejectsZero(t *testing.T) {
+	if _, err := Cholesky(New(2, 2)); err == nil {
+		t.Error("zero (PSD, not PD) matrix accepted")
+	}
+}
+
+func TestSolveLowerUpper(t *testing.T) {
+	l := FromRows([][]float64{{2, 0}, {1, 3}})
+	x, err := SolveLower(l, Vector{4, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(Vector{2, 8.0 / 3.0}, 1e-12) {
+		t.Errorf("SolveLower = %v", x)
+	}
+	u := l.T()
+	y, err := SolveUpper(u, Vector{7, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.MulVec(y).Equal(Vector{7, 3}, 1e-12) {
+		t.Errorf("SolveUpper residual: U·y = %v", u.MulVec(y))
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	c := FromRows([][]float64{{4, 2}, {2, 3}})
+	b := Vector{10, 9}
+	x, err := SolveSPD(c, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.MulVec(x).Equal(b, 1e-10) {
+		t.Errorf("SolveSPD residual: C·x = %v, want %v", c.MulVec(x), b)
+	}
+}
+
+func TestSolveSPDSingular(t *testing.T) {
+	if _, err := SolveSPD(New(2, 2), Vector{1, 1}); err == nil {
+		t.Error("singular solve accepted")
+	}
+}
+
+func TestSolveShapeMismatch(t *testing.T) {
+	if _, err := SolveLower(New(2, 2), Vector{1}); err == nil {
+		t.Error("SolveLower shape mismatch accepted")
+	}
+	if _, err := SolveUpper(New(2, 2), Vector{1, 2, 3}); err == nil {
+		t.Error("SolveUpper shape mismatch accepted")
+	}
+}

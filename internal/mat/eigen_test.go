@@ -1,0 +1,253 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomSPD builds a random symmetric positive semi-definite matrix AᵀA.
+func randomSPD(r *rand.Rand, d int) *Matrix {
+	a := New(d, d)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			a.Set(i, j, r.NormFloat64())
+		}
+	}
+	return a.T().Mul(a)
+}
+
+func TestSymEigenDiagonal(t *testing.T) {
+	c := Diagonal(Vector{1, 5, 3})
+	e, err := SymEigen(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Values.Equal(Vector{5, 3, 1}, 1e-12) {
+		t.Errorf("Values = %v, want [5 3 1]", e.Values)
+	}
+}
+
+func TestSymEigen2x2Known(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1 with eigenvectors (1,1)/√2, (1,-1)/√2.
+	c := FromRows([][]float64{{2, 1}, {1, 2}})
+	e, err := SymEigen(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Values.Equal(Vector{3, 1}, 1e-12) {
+		t.Fatalf("Values = %v, want [3 1]", e.Values)
+	}
+	v0 := e.Vector(0)
+	s := 1 / math.Sqrt(2)
+	if !v0.Equal(Vector{s, s}, 1e-10) && !v0.Equal(Vector{-s, -s}, 1e-10) {
+		t.Errorf("first eigenvector = %v, want ±(1,1)/√2", v0)
+	}
+}
+
+func TestSymEigenReconstruct(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, d := range []int{1, 2, 3, 5, 10, 34} {
+		c := randomSPD(r, d)
+		e, err := SymEigen(c)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		rec := e.Reconstruct()
+		tol := 1e-9 * (1 + c.FrobeniusNorm())
+		if !rec.Equal(c, tol) {
+			t.Errorf("d=%d: PΛPᵀ != C (max err %g)", d, rec.Sub(c).FrobeniusNorm())
+		}
+	}
+}
+
+func TestSymEigenOrthonormal(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, d := range []int{2, 4, 8, 20} {
+		c := randomSPD(r, d)
+		e, err := SymEigen(c)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		ptp := e.Vectors.T().Mul(e.Vectors)
+		if !ptp.Equal(Identity(d), 1e-9) {
+			t.Errorf("d=%d: PᵀP != I", d)
+		}
+	}
+}
+
+func TestSymEigenSortedDescending(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	c := randomSPD(r, 12)
+	e, err := SymEigen(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(e.Values); i++ {
+		if e.Values[i] > e.Values[i-1]+1e-12 {
+			t.Errorf("eigenvalues not sorted: λ[%d]=%g > λ[%d]=%g", i, e.Values[i], i-1, e.Values[i-1])
+		}
+	}
+}
+
+func TestSymEigenPSDNonNegative(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	c := randomSPD(r, 9)
+	e, err := SymEigen(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range e.Values {
+		if v < -1e-9*(1+c.FrobeniusNorm()) {
+			t.Errorf("PSD matrix produced negative eigenvalue λ[%d] = %g", i, v)
+		}
+	}
+}
+
+func TestSymEigenZeroMatrix(t *testing.T) {
+	e, err := SymEigen(New(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Values.Equal(Vector{0, 0, 0, 0}, 0) {
+		t.Errorf("Values = %v, want zeros", e.Values)
+	}
+	if !e.Vectors.T().Mul(e.Vectors).Equal(Identity(4), 1e-12) {
+		t.Error("eigenvectors of zero matrix not orthonormal")
+	}
+}
+
+func TestSymEigenEmptyAndScalar(t *testing.T) {
+	e, err := SymEigen(New(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Dim() != 0 {
+		t.Errorf("Dim = %d, want 0", e.Dim())
+	}
+	e, err = SymEigen(FromRows([][]float64{{-2.5}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Values[0] != -2.5 {
+		t.Errorf("scalar eigenvalue = %g, want -2.5", e.Values[0])
+	}
+}
+
+func TestSymEigenRejectsAsymmetric(t *testing.T) {
+	c := FromRows([][]float64{{1, 2}, {5, 1}})
+	if _, err := SymEigen(c); err == nil {
+		t.Error("asymmetric matrix accepted")
+	}
+}
+
+func TestSymEigenRejectsNonSquare(t *testing.T) {
+	if _, err := SymEigen(New(2, 3)); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+}
+
+func TestSymEigenRejectsNaN(t *testing.T) {
+	c := New(2, 2)
+	c.Set(0, 0, math.NaN())
+	if _, err := SymEigen(c); err == nil {
+		t.Error("NaN matrix accepted")
+	}
+}
+
+func TestSymEigenRepeatedEigenvalues(t *testing.T) {
+	// 3·I has a triple eigenvalue; any orthonormal basis is valid, but the
+	// reconstruction must still hold.
+	c := Identity(3).Scale(3)
+	e, err := SymEigen(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Values.Equal(Vector{3, 3, 3}, 1e-12) {
+		t.Errorf("Values = %v", e.Values)
+	}
+	if !e.Reconstruct().Equal(c, 1e-10) {
+		t.Error("reconstruction failed for repeated eigenvalues")
+	}
+}
+
+func TestSymEigenIndefinite(t *testing.T) {
+	// [[0,1],[1,0]] has eigenvalues +1 and -1.
+	c := FromRows([][]float64{{0, 1}, {1, 0}})
+	e, err := SymEigen(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Values.Equal(Vector{1, -1}, 1e-12) {
+		t.Errorf("Values = %v, want [1 -1]", e.Values)
+	}
+}
+
+func TestSymEigenDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	c := randomSPD(r, 7)
+	e1, err := SymEigen(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := SymEigen(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e1.Values.Equal(e2.Values, 0) || !e1.Vectors.Equal(e2.Vectors, 0) {
+		t.Error("SymEigen is not deterministic on identical input")
+	}
+}
+
+func TestEigenClampPSD(t *testing.T) {
+	e := Eigen{Values: Vector{2, -1e-14, -3}, Vectors: Identity(3)}
+	e.ClampPSD()
+	if !e.Values.Equal(Vector{2, 0, 0}, 0) {
+		t.Errorf("ClampPSD = %v", e.Values)
+	}
+}
+
+func TestSymEigenTraceInvariant(t *testing.T) {
+	// The eigenvalue sum must equal the trace.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomSPD(r, 6)
+		e, err := SymEigen(c)
+		if err != nil {
+			return false
+		}
+		return math.Abs(e.Values.Sum()-c.Trace()) <= 1e-8*(1+math.Abs(c.Trace()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymEigenVectorSatisfiesDefinition(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	c := randomSPD(r, 8)
+	e, err := SymEigen(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < e.Dim(); j++ {
+		v := e.Vector(j)
+		cv := c.MulVec(v)
+		lv := v.Scale(e.Values[j])
+		if !cv.Equal(lv, 1e-8*(1+c.FrobeniusNorm())) {
+			t.Errorf("C·v != λ·v for eigenpair %d", j)
+		}
+	}
+}
+
+func BenchmarkSymEigen34(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	c := randomSPD(r, 34) // Ionosphere dimensionality
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SymEigen(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	rows, cols int
+	data       []float64 // len == rows*cols, row-major
+}
+
+// New returns a zero matrix with the given shape.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows. The data is
+// copied.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("mat: ragged rows: row %d has %d entries, want %d", i, len(r), cols))
+		}
+		copy(m.data[i*cols:(i+1)*cols], r)
+	}
+	return m
+}
+
+// Identity returns the d×d identity matrix.
+func Identity(d int) *Matrix {
+	m := New(d, d)
+	for i := 0; i < d; i++ {
+		m.data[i*d+i] = 1
+	}
+	return m
+}
+
+// Diagonal returns a square matrix with diag on its main diagonal.
+func Diagonal(diag Vector) *Matrix {
+	d := len(diag)
+	m := New(d, d)
+	for i, x := range diag {
+		m.data[i*d+i] = x
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the (i, j) entry.
+func (m *Matrix) At(i, j int) float64 {
+	m.checkIndex(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the (i, j) entry.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.checkIndex(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix) checkIndex(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range for %dx%d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns row i as a vector that aliases the matrix storage.
+func (m *Matrix) Row(i int) Vector {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row %d out of range for %dx%d matrix", i, m.rows, m.cols))
+	}
+	return Vector(m.data[i*m.cols : (i+1)*m.cols])
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) Vector {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: col %d out of range for %dx%d matrix", j, m.rows, m.cols))
+	}
+	out := make(Vector, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// SetRow copies v into row i.
+func (m *Matrix) SetRow(i int, v Vector) {
+	if len(v) != m.cols {
+		panic(fmt.Sprintf("mat: SetRow dimension mismatch %d != %d", len(v), m.cols))
+	}
+	copy(m.Row(i), v)
+}
+
+// SetCol copies v into column j.
+func (m *Matrix) SetCol(j int, v Vector) {
+	if len(v) != m.rows {
+		panic(fmt.Sprintf("mat: SetCol dimension mismatch %d != %d", len(v), m.rows))
+	}
+	for i := 0; i < m.rows; i++ {
+		m.data[i*m.cols+j] = v[i]
+	}
+}
+
+// Clone returns an independent deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*out.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return out
+}
+
+// Add returns m + b as a new matrix.
+func (m *Matrix) Add(b *Matrix) *Matrix {
+	m.checkSameShape("Add", b)
+	out := New(m.rows, m.cols)
+	for i := range m.data {
+		out.data[i] = m.data[i] + b.data[i]
+	}
+	return out
+}
+
+// Sub returns m - b as a new matrix.
+func (m *Matrix) Sub(b *Matrix) *Matrix {
+	m.checkSameShape("Sub", b)
+	out := New(m.rows, m.cols)
+	for i := range m.data {
+		out.data[i] = m.data[i] - b.data[i]
+	}
+	return out
+}
+
+// Scale returns c*m as a new matrix.
+func (m *Matrix) Scale(c float64) *Matrix {
+	out := New(m.rows, m.cols)
+	for i := range m.data {
+		out.data[i] = c * m.data[i]
+	}
+	return out
+}
+
+func (m *Matrix) checkSameShape(op string, b *Matrix) {
+	if m.rows != b.rows || m.cols != b.cols {
+		panic(fmt.Sprintf("mat: %s shape mismatch %dx%d vs %dx%d", op, m.rows, m.cols, b.rows, b.cols))
+	}
+}
+
+// Mul returns the matrix product m·b as a new matrix.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.cols != b.rows {
+		panic(fmt.Sprintf("mat: Mul shape mismatch %dx%d · %dx%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	out := New(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		mrow := m.data[i*m.cols : (i+1)*m.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for k, a := range mrow {
+			if a == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += a * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m·v as a new vector.
+func (m *Matrix) MulVec(v Vector) Vector {
+	if m.cols != len(v) {
+		panic(fmt.Sprintf("mat: MulVec shape mismatch %dx%d · %d", m.rows, m.cols, len(v)))
+	}
+	out := make(Vector, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = Vector(m.data[i*m.cols : (i+1)*m.cols]).Dot(v)
+	}
+	return out
+}
+
+// MulVecT returns mᵀ·v without materializing the transpose.
+func (m *Matrix) MulVecT(v Vector) Vector {
+	if m.rows != len(v) {
+		panic(fmt.Sprintf("mat: MulVecT shape mismatch %dx%d ᵀ· %d", m.rows, m.cols, len(v)))
+	}
+	out := make(Vector, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		vi := v[i]
+		for j, x := range row {
+			out[j] += vi * x
+		}
+	}
+	return out
+}
+
+// Outer returns the outer product v·wᵀ.
+func Outer(v, w Vector) *Matrix {
+	out := New(len(v), len(w))
+	for i, a := range v {
+		row := out.data[i*out.cols : (i+1)*out.cols]
+		for j, b := range w {
+			row[j] = a * b
+		}
+	}
+	return out
+}
+
+// Trace returns the sum of the diagonal entries of a square matrix.
+func (m *Matrix) Trace() float64 {
+	if m.rows != m.cols {
+		panic(fmt.Sprintf("mat: Trace of non-square %dx%d matrix", m.rows, m.cols))
+	}
+	var t float64
+	for i := 0; i < m.rows; i++ {
+		t += m.data[i*m.cols+i]
+	}
+	return t
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, x := range m.data {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsOffDiag returns the largest absolute off-diagonal entry of a square
+// matrix, or 0 for a matrix of size < 2.
+func (m *Matrix) MaxAbsOffDiag() float64 {
+	if m.rows != m.cols {
+		panic(fmt.Sprintf("mat: MaxAbsOffDiag of non-square %dx%d matrix", m.rows, m.cols))
+	}
+	var best float64
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if i == j {
+				continue
+			}
+			if a := math.Abs(m.data[i*m.cols+j]); a > best {
+				best = a
+			}
+		}
+	}
+	return best
+}
+
+// Equal reports whether m and b share a shape and every pair of entries
+// differs by at most tol.
+func (m *Matrix) Equal(b *Matrix, tol float64) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for i := range m.data {
+		if math.Abs(m.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSymmetric reports whether a square matrix is symmetric to within tol.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	if m.rows != m.cols {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := i + 1; j < m.cols; j++ {
+			if math.Abs(m.data[i*m.cols+j]-m.data[j*m.cols+i]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Symmetrize replaces m in place with (m + mᵀ)/2 and returns m. It panics
+// on a non-square matrix.
+func (m *Matrix) Symmetrize() *Matrix {
+	if m.rows != m.cols {
+		panic(fmt.Sprintf("mat: Symmetrize of non-square %dx%d matrix", m.rows, m.cols))
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := i + 1; j < m.cols; j++ {
+			avg := (m.data[i*m.cols+j] + m.data[j*m.cols+i]) / 2
+			m.data[i*m.cols+j] = avg
+			m.data[j*m.cols+i] = avg
+		}
+	}
+	return m
+}
+
+// IsFinite reports whether every entry of m is finite.
+func (m *Matrix) IsFinite() bool {
+	for _, x := range m.data {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix with aligned columns, mainly for debugging.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.rows; i++ {
+		sb.WriteByte('[')
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "% .6g", m.data[i*m.cols+j])
+		}
+		sb.WriteString("]\n")
+	}
+	return sb.String()
+}

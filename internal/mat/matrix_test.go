@@ -1,0 +1,260 @@
+package mat
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewAndAtSet(t *testing.T) {
+	m := New(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("shape = %dx%d, want 2x3", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 7)
+	if got := m.At(1, 2); got != 7 {
+		t.Errorf("At(1,2) = %g, want 7", got)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	m := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range did not panic")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Errorf("FromRows wrong layout: %v", m)
+	}
+	empty := FromRows(nil)
+	if empty.Rows() != 0 || empty.Cols() != 0 {
+		t.Errorf("FromRows(nil) = %dx%d", empty.Rows(), empty.Cols())
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentityDiagonal(t *testing.T) {
+	i3 := Identity(3)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			want := 0.0
+			if r == c {
+				want = 1
+			}
+			if got := i3.At(r, c); got != want {
+				t.Errorf("I(%d,%d) = %g, want %g", r, c, got, want)
+			}
+		}
+	}
+	d := Diagonal(Vector{2, 5})
+	if d.At(0, 0) != 2 || d.At(1, 1) != 5 || d.At(0, 1) != 0 {
+		t.Errorf("Diagonal wrong: %v", d)
+	}
+}
+
+func TestRowColSetRowSetCol(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if got := m.Row(1); !got.Equal(Vector{3, 4}, 0) {
+		t.Errorf("Row(1) = %v", got)
+	}
+	if got := m.Col(0); !got.Equal(Vector{1, 3}, 0) {
+		t.Errorf("Col(0) = %v", got)
+	}
+	m.SetRow(0, Vector{9, 8})
+	if m.At(0, 0) != 9 || m.At(0, 1) != 8 {
+		t.Errorf("SetRow failed: %v", m)
+	}
+	m.SetCol(1, Vector{7, 6})
+	if m.At(0, 1) != 7 || m.At(1, 1) != 6 {
+		t.Errorf("SetCol failed: %v", m)
+	}
+}
+
+func TestRowAliases(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}})
+	m.Row(0)[0] = 42
+	if m.At(0, 0) != 42 {
+		t.Error("Row should alias matrix storage")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if mt.Rows() != 3 || mt.Cols() != 2 {
+		t.Fatalf("T shape = %dx%d", mt.Rows(), mt.Cols())
+	}
+	if mt.At(2, 1) != 6 || mt.At(0, 1) != 4 {
+		t.Errorf("T wrong: %v", mt)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{4, 3}, {2, 1}})
+	if got := a.Add(b); !got.Equal(FromRows([][]float64{{5, 5}, {5, 5}}), 0) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); !got.Equal(FromRows([][]float64{{-3, -1}, {1, 3}}), 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); !got.Equal(FromRows([][]float64{{2, 4}, {6, 8}}), 0) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if got := a.Mul(b); !got.Equal(want, 1e-12) {
+		t.Errorf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mul shape mismatch did not panic")
+		}
+	}()
+	New(2, 3).Mul(New(2, 3))
+}
+
+func TestMulIdentity(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	if got := a.Mul(Identity(2)); !got.Equal(a, 0) {
+		t.Errorf("A·I = %v", got)
+	}
+	if got := Identity(2).Mul(a); !got.Equal(a, 0) {
+		t.Errorf("I·A = %v", got)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	if got := a.MulVec(Vector{1, 1}); !got.Equal(Vector{3, 7}, 0) {
+		t.Errorf("MulVec = %v", got)
+	}
+}
+
+func TestMulVecT(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	want := a.T().MulVec(Vector{1, 1})
+	if got := a.MulVecT(Vector{1, 1}); !got.Equal(want, 1e-12) {
+		t.Errorf("MulVecT = %v, want %v", got, want)
+	}
+}
+
+func TestOuter(t *testing.T) {
+	o := Outer(Vector{1, 2}, Vector{3, 4})
+	want := FromRows([][]float64{{3, 4}, {6, 8}})
+	if !o.Equal(want, 0) {
+		t.Errorf("Outer = %v", o)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	if got := a.Trace(); got != 5 {
+		t.Errorf("Trace = %g, want 5", got)
+	}
+}
+
+func TestTraceNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Trace of non-square did not panic")
+		}
+	}()
+	New(2, 3).Trace()
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	a := FromRows([][]float64{{3, 0}, {0, 4}})
+	if got := a.FrobeniusNorm(); got != 5 {
+		t.Errorf("FrobeniusNorm = %g, want 5", got)
+	}
+}
+
+func TestMaxAbsOffDiag(t *testing.T) {
+	a := FromRows([][]float64{{9, -7}, {2, 9}})
+	if got := a.MaxAbsOffDiag(); got != 7 {
+		t.Errorf("MaxAbsOffDiag = %g, want 7", got)
+	}
+}
+
+func TestIsSymmetricSymmetrize(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2.0000001, 1}})
+	if a.IsSymmetric(1e-12) {
+		t.Error("slightly asymmetric matrix reported symmetric at tight tol")
+	}
+	if !a.IsSymmetric(1e-3) {
+		t.Error("nearly symmetric matrix rejected at loose tol")
+	}
+	a.Symmetrize()
+	if !a.IsSymmetric(0) {
+		t.Error("Symmetrize did not produce exact symmetry")
+	}
+	if New(2, 3).IsSymmetric(1) {
+		t.Error("non-square matrix reported symmetric")
+	}
+}
+
+func TestIsFiniteMatrix(t *testing.T) {
+	a := New(2, 2)
+	if !a.IsFinite() {
+		t.Error("zero matrix reported non-finite")
+	}
+	a.Set(0, 1, math.NaN())
+	if a.IsFinite() {
+		t.Error("NaN matrix reported finite")
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	s := FromRows([][]float64{{1, 2}}).String()
+	if !strings.Contains(s, "1") || !strings.Contains(s, "2") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestEqualShapes(t *testing.T) {
+	if New(1, 2).Equal(New(2, 1), 10) {
+		t.Error("different shapes reported equal")
+	}
+}
+
+// Property-style check on random matrices: (AB)ᵀ = BᵀAᵀ.
+func TestMulTransposeIdentityProperty(t *testing.T) {
+	a := FromRows([][]float64{{1, -2, 0.5}, {3, 4, -1}})
+	b := FromRows([][]float64{{2, 0}, {1, -1}, {0.5, 3}})
+	lhs := a.Mul(b).T()
+	rhs := b.T().Mul(a.T())
+	if !lhs.Equal(rhs, 1e-12) {
+		t.Errorf("(AB)ᵀ = %v, BᵀAᵀ = %v", lhs, rhs)
+	}
+}

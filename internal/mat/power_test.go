@@ -1,0 +1,130 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTopEigenMatchesJacobi(t *testing.T) {
+	r := rand.New(rand.NewSource(30))
+	for _, d := range []int{2, 5, 10, 34} {
+		c := randomSPD(r, d)
+		lambda, v, err := TopEigen(c, PowerOptions{})
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		full, err := SymEigen(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tol := 1e-6 * (1 + full.Values[0])
+		if math.Abs(lambda-full.Values[0]) > tol {
+			t.Errorf("d=%d: λ = %g, Jacobi %g", d, lambda, full.Values[0])
+		}
+		if align := math.Abs(v.Dot(full.Vector(0))); align < 1-1e-6 {
+			t.Errorf("d=%d: eigenvector alignment %g", d, align)
+		}
+	}
+}
+
+func TestTopEigenDiagonal(t *testing.T) {
+	c := Diagonal(Vector{1, 9, 4})
+	lambda, v, err := TopEigen(c, PowerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lambda-9) > 1e-9 {
+		t.Errorf("λ = %g, want 9", lambda)
+	}
+	if math.Abs(v[1]) < 1-1e-6 {
+		t.Errorf("v = %v, want ±e₂", v)
+	}
+}
+
+func TestTopEigenZeroMatrix(t *testing.T) {
+	lambda, v, err := TopEigen(New(3, 3), PowerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lambda != 0 {
+		t.Errorf("λ = %g, want 0", lambda)
+	}
+	if math.Abs(v.Norm()-1) > 1e-12 {
+		t.Errorf("|v| = %g", v.Norm())
+	}
+}
+
+func TestTopEigenErrors(t *testing.T) {
+	if _, _, err := TopEigen(New(2, 3), PowerOptions{}); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, _, err := TopEigen(New(0, 0), PowerOptions{}); err == nil {
+		t.Error("empty accepted")
+	}
+	bad := New(2, 2)
+	bad.Set(0, 0, math.NaN())
+	if _, _, err := TopEigen(bad, PowerOptions{}); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestTopEigenTiedEigenvaluesStillValid(t *testing.T) {
+	// 5·I: every unit vector is an eigenvector; power iteration converges
+	// immediately to the start vector with λ = 5.
+	c := Identity(4).Scale(5)
+	lambda, v, err := TopEigen(c, PowerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lambda-5) > 1e-9 {
+		t.Errorf("λ = %g, want 5", lambda)
+	}
+	res := c.MulVec(v).Sub(v.Scale(lambda))
+	if res.Norm() > 1e-9 {
+		t.Errorf("residual %g", res.Norm())
+	}
+}
+
+func TestTopEigenKMatchesJacobi(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	c := randomSPD(r, 8)
+	full, err := SymEigen(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := TopEigenK(c, 3, PowerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		tol := 1e-5 * (1 + full.Values[0])
+		if math.Abs(got.Values[j]-full.Values[j]) > tol {
+			t.Errorf("λ[%d] = %g, Jacobi %g", j, got.Values[j], full.Values[j])
+		}
+		if align := math.Abs(got.Vector(j).Dot(full.Vector(j))); align < 1-1e-4 {
+			t.Errorf("eigenvector %d alignment %g", j, align)
+		}
+	}
+}
+
+func TestTopEigenKErrors(t *testing.T) {
+	c := Identity(3)
+	if _, err := TopEigenK(c, 0, PowerOptions{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := TopEigenK(c, 4, PowerOptions{}); err == nil {
+		t.Error("k>d accepted")
+	}
+}
+
+func BenchmarkTopEigen34(b *testing.B) {
+	r := rand.New(rand.NewSource(32))
+	c := randomSPD(r, 34)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := TopEigen(c, PowerOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package mat provides the small dense linear-algebra kernel used by the
+// condensation library: vectors, row-major matrices, a cyclic-Jacobi
+// symmetric eigendecomposition, and a Cholesky factorization.
+//
+// The package is self-contained (standard library only) and tuned for the
+// shapes that arise in tabular anonymization: symmetric d×d covariance
+// matrices with d up to a few hundred. Shape mismatches are programmer
+// errors and panic; numerical failures (for example a non-positive-definite
+// matrix handed to Cholesky) are reported as errors.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense column vector. It aliases the underlying slice, so
+// callers that need an independent copy should use Clone.
+type Vector []float64
+
+// NewVector returns a zero vector of dimension d.
+func NewVector(d int) Vector {
+	if d < 0 {
+		panic(fmt.Sprintf("mat: negative vector dimension %d", d))
+	}
+	return make(Vector, d)
+}
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	w := make(Vector, len(v))
+	copy(w, v)
+	return w
+}
+
+// Dim returns the dimension of v.
+func (v Vector) Dim() int { return len(v) }
+
+// checkDim panics unless v and w have the same dimension.
+func checkDim(op string, v, w Vector) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("mat: %s dimension mismatch %d != %d", op, len(v), len(w)))
+	}
+}
+
+// Add returns v + w as a new vector.
+func (v Vector) Add(w Vector) Vector {
+	checkDim("Add", v, w)
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// Sub returns v - w as a new vector.
+func (v Vector) Sub(w Vector) Vector {
+	checkDim("Sub", v, w)
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// Scale returns c*v as a new vector.
+func (v Vector) Scale(c float64) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = c * v[i]
+	}
+	return out
+}
+
+// AddScaled adds c*w to v in place (the BLAS "axpy" operation) and returns v.
+func (v Vector) AddScaled(c float64, w Vector) Vector {
+	checkDim("AddScaled", v, w)
+	for i := range v {
+		v[i] += c * w[i]
+	}
+	return v
+}
+
+// Dot returns the inner product of v and w.
+func (v Vector) Dot(w Vector) float64 {
+	checkDim("Dot", v, w)
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func (v Vector) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vector) Dist(w Vector) float64 { return math.Sqrt(v.DistSq(w)) }
+
+// DistSq returns the squared Euclidean distance between v and w. It is the
+// preferred primitive for nearest-neighbour search, where the square root
+// is unnecessary.
+func (v Vector) DistSq(w Vector) float64 {
+	checkDim("DistSq", v, w)
+	var s float64
+	for i := range v {
+		d := v[i] - w[i]
+		s += d * d
+	}
+	return s
+}
+
+// Equal reports whether v and w have the same dimension and every pair of
+// entries differs by at most tol.
+func (v Vector) Equal(w Vector, tol float64) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if math.Abs(v[i]-w[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFinite reports whether every entry of v is finite (neither NaN nor Inf).
+func (v Vector) IsFinite() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Max returns the maximum entry of v. It panics on an empty vector.
+func (v Vector) Max() float64 {
+	if len(v) == 0 {
+		panic("mat: Max of empty vector")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum entry of v. It panics on an empty vector.
+func (v Vector) Min() float64 {
+	if len(v) == 0 {
+		panic("mat: Min of empty vector")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of the entries of v.
+func (v Vector) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of the entries of v, or 0 for an empty
+// vector.
+func (v Vector) Mean() float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return v.Sum() / float64(len(v))
+}
+
+// Normalize scales v in place to unit Euclidean norm and returns v. A zero
+// vector is left unchanged.
+func (v Vector) Normalize() Vector {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	for i := range v {
+		v[i] /= n
+	}
+	return v
+}

@@ -1,0 +1,192 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewVector(t *testing.T) {
+	v := NewVector(3)
+	if v.Dim() != 3 {
+		t.Fatalf("Dim = %d, want 3", v.Dim())
+	}
+	for i, x := range v {
+		if x != 0 {
+			t.Errorf("v[%d] = %g, want 0", i, x)
+		}
+	}
+}
+
+func TestNewVectorNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewVector(-1) did not panic")
+		}
+	}()
+	NewVector(-1)
+}
+
+func TestVectorClone(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := v.Clone()
+	w[0] = 99
+	if v[0] != 1 {
+		t.Errorf("Clone aliases original: v[0] = %g", v[0])
+	}
+}
+
+func TestVectorAddSub(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	if got := v.Add(w); !got.Equal(Vector{5, 7, 9}, 0) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := w.Sub(v); !got.Equal(Vector{3, 3, 3}, 0) {
+		t.Errorf("Sub = %v", got)
+	}
+}
+
+func TestVectorDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with mismatched dims did not panic")
+		}
+	}()
+	Vector{1}.Add(Vector{1, 2})
+}
+
+func TestVectorScale(t *testing.T) {
+	v := Vector{1, -2, 0.5}
+	if got := v.Scale(2); !got.Equal(Vector{2, -4, 1}, 0) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestVectorAddScaled(t *testing.T) {
+	v := Vector{1, 1}
+	v.AddScaled(3, Vector{2, -1})
+	if !v.Equal(Vector{7, -2}, 0) {
+		t.Errorf("AddScaled = %v", v)
+	}
+}
+
+func TestVectorDotNorm(t *testing.T) {
+	v := Vector{3, 4}
+	if got := v.Dot(v); got != 25 {
+		t.Errorf("Dot = %g, want 25", got)
+	}
+	if got := v.Norm(); got != 5 {
+		t.Errorf("Norm = %g, want 5", got)
+	}
+}
+
+func TestVectorDist(t *testing.T) {
+	v := Vector{0, 0}
+	w := Vector{3, 4}
+	if got := v.Dist(w); got != 5 {
+		t.Errorf("Dist = %g, want 5", got)
+	}
+	if got := v.DistSq(w); got != 25 {
+		t.Errorf("DistSq = %g, want 25", got)
+	}
+}
+
+func TestVectorMinMaxSumMean(t *testing.T) {
+	v := Vector{2, -1, 5, 0}
+	if got := v.Min(); got != -1 {
+		t.Errorf("Min = %g", got)
+	}
+	if got := v.Max(); got != 5 {
+		t.Errorf("Max = %g", got)
+	}
+	if got := v.Sum(); got != 6 {
+		t.Errorf("Sum = %g", got)
+	}
+	if got := v.Mean(); got != 1.5 {
+		t.Errorf("Mean = %g", got)
+	}
+}
+
+func TestVectorMeanEmpty(t *testing.T) {
+	if got := (Vector{}).Mean(); got != 0 {
+		t.Errorf("empty Mean = %g, want 0", got)
+	}
+}
+
+func TestVectorMaxEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Max of empty vector did not panic")
+		}
+	}()
+	_ = Vector{}.Max()
+}
+
+func TestVectorNormalize(t *testing.T) {
+	v := Vector{3, 4}
+	v.Normalize()
+	if math.Abs(v.Norm()-1) > 1e-15 {
+		t.Errorf("Norm after Normalize = %g", v.Norm())
+	}
+	z := Vector{0, 0}
+	z.Normalize() // must not divide by zero
+	if !z.Equal(Vector{0, 0}, 0) {
+		t.Errorf("Normalize(0) = %v", z)
+	}
+}
+
+func TestVectorIsFinite(t *testing.T) {
+	if !(Vector{1, 2}).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if (Vector{1, math.NaN()}).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if (Vector{math.Inf(1)}).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestVectorEqualDifferentDims(t *testing.T) {
+	if (Vector{1}).Equal(Vector{1, 2}, 1) {
+		t.Error("vectors of different dims reported equal")
+	}
+}
+
+// Property: the triangle inequality holds for Dist.
+func TestVectorDistTriangleInequality(t *testing.T) {
+	f := func(a, b, c [4]float64) bool {
+		u, v, w := Vector(a[:]), Vector(b[:]), Vector(c[:])
+		for _, x := range append(append(u.Clone(), v...), w...) {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // skip degenerate random cases
+			}
+		}
+		return u.Dist(w) <= u.Dist(v)+v.Dist(w)+1e-6*(1+u.Dist(w))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dot is symmetric and bilinear in the first argument.
+func TestVectorDotProperties(t *testing.T) {
+	f := func(a, b [5]float64, c float64) bool {
+		u, v := Vector(a[:]), Vector(b[:])
+		if math.IsNaN(c) || math.IsInf(c, 0) || math.Abs(c) > 1e50 {
+			return true
+		}
+		for _, x := range append(u.Clone(), v...) {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e50 {
+				return true
+			}
+		}
+		sym := math.Abs(u.Dot(v)-v.Dot(u)) <= 1e-9*(1+math.Abs(u.Dot(v)))
+		lin := math.Abs(u.Scale(c).Dot(v)-c*u.Dot(v)) <= 1e-6*(1+math.Abs(c*u.Dot(v)))
+		return sym && lin
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

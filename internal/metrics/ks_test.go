@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"condensation/internal/mat"
+	"condensation/internal/rng"
+)
+
+func TestKSIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	d, err := KolmogorovSmirnov(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("KS(a,a) = %g, want 0", d)
+	}
+}
+
+func TestKSDisjointSamples(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	d, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Errorf("KS(disjoint) = %g, want 1", d)
+	}
+}
+
+func TestKSKnownValue(t *testing.T) {
+	// a = {1,2}, b = {2,3}: after 1, Fa=.5, Fb=0 → D=.5; after 2, 1 vs .5
+	// → .5; after 3, 1 vs 1.
+	d, err := KolmogorovSmirnov([]float64{1, 2}, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("KS = %g, want 0.5", d)
+	}
+}
+
+func TestKSSameDistribution(t *testing.T) {
+	r := rng.New(1)
+	a := make([]float64, 3000)
+	b := make([]float64, 3000)
+	for i := range a {
+		a[i] = r.Norm()
+		b[i] = r.Norm()
+	}
+	d, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.06 {
+		t.Errorf("KS for same distribution = %g, want small", d)
+	}
+}
+
+func TestKSShiftDetected(t *testing.T) {
+	r := rng.New(2)
+	a := make([]float64, 2000)
+	b := make([]float64, 2000)
+	for i := range a {
+		a[i] = r.Norm()
+		b[i] = r.Norm() + 1
+	}
+	d, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0.3 {
+		t.Errorf("KS for unit shift = %g, want large", d)
+	}
+}
+
+func TestKSErrors(t *testing.T) {
+	if _, err := KolmogorovSmirnov(nil, []float64{1}); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := KolmogorovSmirnov([]float64{math.NaN()}, []float64{1}); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, err := KolmogorovSmirnov([]float64{1}, []float64{math.NaN()}); err == nil {
+		t.Error("NaN in second sample accepted")
+	}
+}
+
+func TestKSDoesNotMutateInputs(t *testing.T) {
+	a := []float64{3, 1, 2}
+	b := []float64{2, 1}
+	if _, err := KolmogorovSmirnov(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 3 || b[0] != 2 {
+		t.Error("KS sorted the caller's slices")
+	}
+}
+
+func TestMeanMarginalKS(t *testing.T) {
+	r := rng.New(3)
+	orig := make([]mat.Vector, 500)
+	same := make([]mat.Vector, 500)
+	shifted := make([]mat.Vector, 500)
+	for i := range orig {
+		orig[i] = mat.Vector{r.Norm(), r.Uniform(0, 1)}
+		same[i] = mat.Vector{r.Norm(), r.Uniform(0, 1)}
+		shifted[i] = mat.Vector{r.Norm() + 2, r.Uniform(0, 1)}
+	}
+	low, err := MeanMarginalKS(orig, same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := MeanMarginalKS(orig, shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low > 0.1 {
+		t.Errorf("same-distribution mean KS = %g", low)
+	}
+	if high < 0.3 {
+		t.Errorf("shifted mean KS = %g, want large", high)
+	}
+	if high <= low {
+		t.Error("shifted KS not larger than same-distribution KS")
+	}
+}
+
+func TestMeanMarginalKSErrors(t *testing.T) {
+	if _, err := MeanMarginalKS(nil, nil); err == nil {
+		t.Error("empty accepted")
+	}
+	a := []mat.Vector{{1, 2}}
+	if _, err := MeanMarginalKS(a, []mat.Vector{{1}}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	ragged := []mat.Vector{{1, 2}, {3}}
+	if _, err := MeanMarginalKS(ragged, a); err == nil {
+		t.Error("ragged original accepted")
+	}
+	if _, err := MeanMarginalKS(a, ragged); err == nil {
+		t.Error("ragged anonymized accepted")
+	}
+}

@@ -1,0 +1,227 @@
+// Package metrics implements the quality measures of the paper's
+// evaluation: classification accuracy (with a confusion matrix and derived
+// scores), regression accuracy within a tolerance (the Abalone
+// "age predicted within one year" measure), and the covariance
+// compatibility coefficient µ — the statistical correlation between the
+// covariance-matrix entries of the original and the anonymized data.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"condensation/internal/dataset"
+	"condensation/internal/mat"
+	"condensation/internal/stats"
+)
+
+// Accuracy returns the fraction of predictions matching the truth.
+func Accuracy(pred, truth []int) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, fmt.Errorf("metrics: %d predictions for %d truths", len(pred), len(truth))
+	}
+	if len(pred) == 0 {
+		return 0, errors.New("metrics: empty prediction set")
+	}
+	correct := 0
+	for i := range pred {
+		if pred[i] == truth[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred)), nil
+}
+
+// ConfusionMatrix counts prediction outcomes: entry [t][p] is the number
+// of records of true class t predicted as class p.
+type ConfusionMatrix struct {
+	counts [][]int
+}
+
+// NewConfusionMatrix tallies a confusion matrix over numClasses classes.
+func NewConfusionMatrix(pred, truth []int, numClasses int) (*ConfusionMatrix, error) {
+	if len(pred) != len(truth) {
+		return nil, fmt.Errorf("metrics: %d predictions for %d truths", len(pred), len(truth))
+	}
+	if numClasses < 1 {
+		return nil, fmt.Errorf("metrics: %d classes", numClasses)
+	}
+	cm := &ConfusionMatrix{counts: make([][]int, numClasses)}
+	for i := range cm.counts {
+		cm.counts[i] = make([]int, numClasses)
+	}
+	for i := range pred {
+		if truth[i] < 0 || truth[i] >= numClasses || pred[i] < 0 || pred[i] >= numClasses {
+			return nil, fmt.Errorf("metrics: record %d has labels (%d, %d) outside [0,%d)", i, truth[i], pred[i], numClasses)
+		}
+		cm.counts[truth[i]][pred[i]]++
+	}
+	return cm, nil
+}
+
+// At returns the count of true class t predicted as class p.
+func (cm *ConfusionMatrix) At(t, p int) int { return cm.counts[t][p] }
+
+// NumClasses returns the number of classes tallied.
+func (cm *ConfusionMatrix) NumClasses() int { return len(cm.counts) }
+
+// Accuracy returns the trace fraction of the confusion matrix.
+func (cm *ConfusionMatrix) Accuracy() float64 {
+	var correct, total int
+	for t, row := range cm.counts {
+		for p, n := range row {
+			total += n
+			if t == p {
+				correct += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// PrecisionRecallF1 returns the per-class precision, recall, and F1 for
+// class c. Undefined ratios (zero denominators) are reported as 0.
+func (cm *ConfusionMatrix) PrecisionRecallF1(c int) (precision, recall, f1 float64) {
+	var tp, fp, fn int
+	for t, row := range cm.counts {
+		for p, n := range row {
+			switch {
+			case t == c && p == c:
+				tp += n
+			case t != c && p == c:
+				fp += n
+			case t == c && p != c:
+				fn += n
+			}
+		}
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return precision, recall, f1
+}
+
+// MacroF1 returns the unweighted mean F1 across classes.
+func (cm *ConfusionMatrix) MacroF1() float64 {
+	if len(cm.counts) == 0 {
+		return 0
+	}
+	var sum float64
+	for c := range cm.counts {
+		_, _, f1 := cm.PrecisionRecallF1(c)
+		sum += f1
+	}
+	return sum / float64(len(cm.counts))
+}
+
+// WithinTolerance returns the fraction of predictions within tol of the
+// truth — the paper's Abalone measure with tol = 1 year.
+func WithinTolerance(pred, truth []float64, tol float64) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, fmt.Errorf("metrics: %d predictions for %d truths", len(pred), len(truth))
+	}
+	if len(pred) == 0 {
+		return 0, errors.New("metrics: empty prediction set")
+	}
+	if tol < 0 {
+		return 0, fmt.Errorf("metrics: negative tolerance %g", tol)
+	}
+	hits := 0
+	for i := range pred {
+		if math.Abs(pred[i]-truth[i]) <= tol {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(pred)), nil
+}
+
+// RMSE returns the root-mean-square error of predictions.
+func RMSE(pred, truth []float64) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, fmt.Errorf("metrics: %d predictions for %d truths", len(pred), len(truth))
+	}
+	if len(pred) == 0 {
+		return 0, errors.New("metrics: empty prediction set")
+	}
+	var ss float64
+	for i := range pred {
+		d := pred[i] - truth[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(pred))), nil
+}
+
+// MAE returns the mean absolute error of predictions.
+func MAE(pred, truth []float64) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, fmt.Errorf("metrics: %d predictions for %d truths", len(pred), len(truth))
+	}
+	if len(pred) == 0 {
+		return 0, errors.New("metrics: empty prediction set")
+	}
+	var sum float64
+	for i := range pred {
+		sum += math.Abs(pred[i] - truth[i])
+	}
+	return sum / float64(len(pred)), nil
+}
+
+// CovarianceCompatibility computes the paper's statistical compatibility
+// coefficient µ between two data sets: the Pearson correlation between the
+// paired covariance-matrix entries (o_ij, p_ij) of the original and the
+// perturbed data, taken over the dimension pairs i ≤ j (each unordered
+// pair counted once; the matrices are symmetric, so counting both
+// triangles would only re-weight, not change, perfect agreement). µ = 1
+// means the covariance structures are identical up to scale; µ = −1 means
+// they are perfectly anti-correlated.
+func CovarianceCompatibility(original, perturbed []mat.Vector) (float64, error) {
+	co, err := stats.CovarianceMatrix(original)
+	if err != nil {
+		return 0, fmt.Errorf("metrics: original covariance: %w", err)
+	}
+	cp, err := stats.CovarianceMatrix(perturbed)
+	if err != nil {
+		return 0, fmt.Errorf("metrics: perturbed covariance: %w", err)
+	}
+	return CovarianceMatrixCompatibility(co, cp)
+}
+
+// CovarianceMatrixCompatibility computes µ directly from two covariance
+// matrices.
+func CovarianceMatrixCompatibility(co, cp *mat.Matrix) (float64, error) {
+	if co.Rows() != cp.Rows() || co.Cols() != cp.Cols() {
+		return 0, fmt.Errorf("metrics: covariance shapes %dx%d vs %dx%d",
+			co.Rows(), co.Cols(), cp.Rows(), cp.Cols())
+	}
+	if co.Rows() != co.Cols() {
+		return 0, fmt.Errorf("metrics: non-square covariance %dx%d", co.Rows(), co.Cols())
+	}
+	d := co.Rows()
+	var os, ps []float64
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			os = append(os, co.At(i, j))
+			ps = append(ps, cp.At(i, j))
+		}
+	}
+	return stats.Pearson(os, ps)
+}
+
+// ClassificationAccuracyOn fits-and-scores in one call: predictions from
+// pred are compared with test's labels.
+func ClassificationAccuracyOn(test *dataset.Dataset, pred []int) (float64, error) {
+	if test.Task != dataset.Classification {
+		return 0, fmt.Errorf("metrics: data set task %v", test.Task)
+	}
+	return Accuracy(pred, test.Labels)
+}

@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"condensation/internal/mat"
+	"condensation/internal/rng"
+)
+
+func TestAccuracy(t *testing.T) {
+	got, err := Accuracy([]int{1, 0, 1, 1}, []int{1, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.75 {
+		t.Errorf("Accuracy = %g, want 0.75", got)
+	}
+}
+
+func TestAccuracyErrors(t *testing.T) {
+	if _, err := Accuracy([]int{1}, []int{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Accuracy(nil, nil); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	cm, err := NewConfusionMatrix([]int{0, 1, 1, 0}, []int{0, 1, 0, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.At(0, 0) != 2 || cm.At(0, 1) != 1 || cm.At(1, 1) != 1 || cm.At(1, 0) != 0 {
+		t.Errorf("counts wrong: [[%d %d][%d %d]]", cm.At(0, 0), cm.At(0, 1), cm.At(1, 0), cm.At(1, 1))
+	}
+	if cm.Accuracy() != 0.75 {
+		t.Errorf("Accuracy = %g", cm.Accuracy())
+	}
+	if cm.NumClasses() != 2 {
+		t.Errorf("NumClasses = %d", cm.NumClasses())
+	}
+}
+
+func TestConfusionMatrixErrors(t *testing.T) {
+	if _, err := NewConfusionMatrix([]int{0}, []int{0, 1}, 2); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewConfusionMatrix([]int{0}, []int{0}, 0); err == nil {
+		t.Error("zero classes accepted")
+	}
+	if _, err := NewConfusionMatrix([]int{5}, []int{0}, 2); err == nil {
+		t.Error("out-of-range prediction accepted")
+	}
+	if _, err := NewConfusionMatrix([]int{0}, []int{-1}, 2); err == nil {
+		t.Error("negative truth accepted")
+	}
+}
+
+func TestPrecisionRecallF1(t *testing.T) {
+	// truth:  0 0 0 1 1
+	// pred:   0 0 1 1 0
+	cm, err := NewConfusionMatrix([]int{0, 0, 1, 1, 0}, []int{0, 0, 0, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, r, f1 := cm.PrecisionRecallF1(0)
+	if math.Abs(p-2.0/3) > 1e-12 || math.Abs(r-2.0/3) > 1e-12 || math.Abs(f1-2.0/3) > 1e-12 {
+		t.Errorf("class 0: P=%g R=%g F1=%g", p, r, f1)
+	}
+	p, r, f1 = cm.PrecisionRecallF1(1)
+	if math.Abs(p-0.5) > 1e-12 || math.Abs(r-0.5) > 1e-12 || math.Abs(f1-0.5) > 1e-12 {
+		t.Errorf("class 1: P=%g R=%g F1=%g", p, r, f1)
+	}
+	if macro := cm.MacroF1(); math.Abs(macro-(2.0/3+0.5)/2) > 1e-12 {
+		t.Errorf("MacroF1 = %g", macro)
+	}
+}
+
+func TestPrecisionRecallF1UndefinedIsZero(t *testing.T) {
+	cm, err := NewConfusionMatrix([]int{0, 0}, []int{0, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, r, f1 := cm.PrecisionRecallF1(1) // class 1 never appears
+	if p != 0 || r != 0 || f1 != 0 {
+		t.Errorf("absent class: P=%g R=%g F1=%g", p, r, f1)
+	}
+}
+
+func TestWithinTolerance(t *testing.T) {
+	got, err := WithinTolerance([]float64{1, 2, 3}, []float64{1.5, 4, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("WithinTolerance = %g, want 2/3", got)
+	}
+}
+
+func TestWithinToleranceErrors(t *testing.T) {
+	if _, err := WithinTolerance([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := WithinTolerance(nil, nil, 1); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := WithinTolerance([]float64{1}, []float64{1}, -1); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+}
+
+func TestRMSEAndMAE(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	truth := []float64{1, 2, 6}
+	rmse, err := RMSE(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rmse-math.Sqrt(3)) > 1e-12 {
+		t.Errorf("RMSE = %g, want √3", rmse)
+	}
+	mae, err := MAE(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mae != 1 {
+		t.Errorf("MAE = %g, want 1", mae)
+	}
+	if _, err := RMSE(nil, nil); err == nil {
+		t.Error("RMSE empty accepted")
+	}
+	if _, err := MAE([]float64{1}, nil); err == nil {
+		t.Error("MAE mismatch accepted")
+	}
+}
+
+func TestCovarianceCompatibilityIdentical(t *testing.T) {
+	r := rng.New(1)
+	recs := make([]mat.Vector, 100)
+	for i := range recs {
+		base := r.Norm()
+		recs[i] = mat.Vector{base, 2 * base, r.Norm()}
+	}
+	mu, err := CovarianceCompatibility(recs, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mu-1) > 1e-12 {
+		t.Errorf("µ(identical) = %g, want 1", mu)
+	}
+}
+
+func TestCovarianceCompatibilityNegated(t *testing.T) {
+	// Flipping the sign of the second attribute negates the off-diagonal
+	// covariance while keeping variances, so µ drops below 1.
+	r := rng.New(2)
+	orig := make([]mat.Vector, 200)
+	flip := make([]mat.Vector, 200)
+	for i := range orig {
+		base := r.Norm()
+		noise := 0.1 * r.Norm()
+		orig[i] = mat.Vector{base, base + noise}
+		flip[i] = mat.Vector{base, -base - noise}
+	}
+	mu, err := CovarianceCompatibility(orig, flip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu > 0.5 {
+		t.Errorf("µ(anti-correlated) = %g, want well below 1", mu)
+	}
+}
+
+func TestCovarianceCompatibilitySimilar(t *testing.T) {
+	// Two independent samples from the same distribution should score a
+	// very high µ.
+	draw := func(seed uint64) []mat.Vector {
+		r := rng.New(seed)
+		out := make([]mat.Vector, 2000)
+		for i := range out {
+			b := r.Norm()
+			out[i] = mat.Vector{b, b + 0.5*r.Norm(), r.Norm() - b}
+		}
+		return out
+	}
+	mu, err := CovarianceCompatibility(draw(3), draw(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu < 0.98 {
+		t.Errorf("µ(same distribution) = %g, want > 0.98", mu)
+	}
+}
+
+func TestCovarianceMatrixCompatibilityErrors(t *testing.T) {
+	if _, err := CovarianceMatrixCompatibility(mat.New(2, 2), mat.New(3, 3)); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	if _, err := CovarianceMatrixCompatibility(mat.New(2, 3), mat.New(2, 3)); err == nil {
+		t.Error("non-square accepted")
+	}
+}
+
+func TestCovarianceCompatibilityErrors(t *testing.T) {
+	if _, err := CovarianceCompatibility(nil, nil); err == nil {
+		t.Error("empty original accepted")
+	}
+	recs := []mat.Vector{{1, 2}, {3, 4}}
+	if _, err := CovarianceCompatibility(recs, nil); err == nil {
+		t.Error("empty perturbed accepted")
+	}
+}

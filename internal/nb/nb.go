@@ -1,0 +1,230 @@
+// Package nb implements a Gaussian naive Bayes classifier with two
+// training paths:
+//
+//   - Train fits the classifier on records, like any other learner — the
+//     "unmodified algorithm on anonymized data" path of the paper;
+//   - FromGroups fits it *directly from condensed group statistics*,
+//     with no synthesis step at all. The class-conditional means and
+//     variances a Gaussian NB needs are exactly the first two moments the
+//     condensation retains per group (and merging groups is exact), so
+//     this path demonstrates that the paper's H set is itself a queryable
+//     mining substrate for moment-based algorithms — the anonymized
+//     records are only needed for algorithms that want actual points.
+//
+// The two paths produce identical models up to floating-point round-off
+// when FromGroups receives the condensation of the training records,
+// which the tests assert.
+package nb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"condensation/internal/dataset"
+	"condensation/internal/mat"
+	"condensation/internal/stats"
+)
+
+// varianceFloor keeps degenerate (zero-variance) attributes from
+// producing infinite log-densities; it acts like a tiny measurement jitter.
+const varianceFloor = 1e-9
+
+// Classifier is a fitted Gaussian naive Bayes model.
+type Classifier struct {
+	dim     int
+	priors  []float64    // per class; zero for absent classes
+	means   []mat.Vector // per class
+	vars    []mat.Vector // per class, floored
+	present []bool       // class has training mass
+}
+
+// Train fits the classifier on a classification data set.
+func Train(train *dataset.Dataset) (*Classifier, error) {
+	if train.Task != dataset.Classification {
+		return nil, fmt.Errorf("nb: needs a classification data set, got %v", train.Task)
+	}
+	if err := train.Validate(); err != nil {
+		return nil, fmt.Errorf("nb: training data: %w", err)
+	}
+	if train.Len() == 0 {
+		return nil, errors.New("nb: empty training data")
+	}
+	// Build per-class moment groups, then defer to the statistics path —
+	// one code path to test, and the equivalence is by construction.
+	classGroups := make(map[int][]*stats.Group)
+	byClass := train.ByClass()
+	for label, idx := range byClass {
+		g := stats.NewGroup(train.Dim())
+		for _, i := range idx {
+			if err := g.Add(train.X[i]); err != nil {
+				return nil, err
+			}
+		}
+		classGroups[label] = []*stats.Group{g}
+	}
+	return FromGroups(train.NumClasses(), classGroups)
+}
+
+// FromGroups fits the classifier directly from per-class condensed group
+// statistics: the groups of each class are merged (exactly) and the class
+// mean, per-attribute variance, and prior follow from the merged moments.
+// numClasses fixes the label space; classes without groups get zero prior
+// and never win Predict.
+func FromGroups(numClasses int, classGroups map[int][]*stats.Group) (*Classifier, error) {
+	if numClasses < 1 {
+		return nil, fmt.Errorf("nb: %d classes", numClasses)
+	}
+	if len(classGroups) == 0 {
+		return nil, errors.New("nb: no group statistics")
+	}
+	dim := 0
+	for _, groups := range classGroups {
+		for _, g := range groups {
+			if dim == 0 {
+				dim = g.Dim()
+			}
+			if g.Dim() != dim {
+				return nil, fmt.Errorf("nb: mixed group dimensions %d and %d", dim, g.Dim())
+			}
+		}
+	}
+	if dim == 0 {
+		return nil, errors.New("nb: all classes have empty group lists")
+	}
+	c := &Classifier{
+		dim:     dim,
+		priors:  make([]float64, numClasses),
+		means:   make([]mat.Vector, numClasses),
+		vars:    make([]mat.Vector, numClasses),
+		present: make([]bool, numClasses),
+	}
+	var total int
+	counts := make([]int, numClasses)
+	for label, groups := range classGroups {
+		if label < 0 || label >= numClasses {
+			return nil, fmt.Errorf("nb: label %d outside [0,%d)", label, numClasses)
+		}
+		if len(groups) == 0 {
+			continue
+		}
+		merged := stats.NewGroup(dim)
+		for _, g := range groups {
+			if err := merged.Merge(g); err != nil {
+				return nil, fmt.Errorf("nb: class %d: %w", label, err)
+			}
+		}
+		if merged.N() == 0 {
+			continue
+		}
+		mean, err := merged.Mean()
+		if err != nil {
+			return nil, err
+		}
+		variance := make(mat.Vector, dim)
+		for j := 0; j < dim; j++ {
+			v, err := merged.Variance(j)
+			if err != nil {
+				return nil, err
+			}
+			if v < varianceFloor {
+				v = varianceFloor
+			}
+			variance[j] = v
+		}
+		c.means[label] = mean
+		c.vars[label] = variance
+		c.present[label] = true
+		counts[label] = merged.N()
+		total += merged.N()
+	}
+	if total == 0 {
+		return nil, errors.New("nb: no training mass")
+	}
+	for label := range c.priors {
+		c.priors[label] = float64(counts[label]) / float64(total)
+	}
+	return c, nil
+}
+
+// Dim returns the attribute dimensionality.
+func (c *Classifier) Dim() int { return c.dim }
+
+// LogPosterior returns the unnormalized log posterior of class label for
+// record x, or -Inf for absent classes.
+func (c *Classifier) LogPosterior(label int, x mat.Vector) (float64, error) {
+	if label < 0 || label >= len(c.priors) {
+		return 0, fmt.Errorf("nb: label %d outside [0,%d)", label, len(c.priors))
+	}
+	if len(x) != c.dim {
+		return 0, fmt.Errorf("nb: query dimension %d, want %d", len(x), c.dim)
+	}
+	if !c.present[label] {
+		return math.Inf(-1), nil
+	}
+	score := math.Log(c.priors[label])
+	mean, variance := c.means[label], c.vars[label]
+	for j, v := range x {
+		dev := v - mean[j]
+		score += -0.5*math.Log(2*math.Pi*variance[j]) - dev*dev/(2*variance[j])
+	}
+	return score, nil
+}
+
+// Predict returns the maximum-posterior class for x.
+func (c *Classifier) Predict(x mat.Vector) (int, error) {
+	if len(x) != c.dim {
+		return 0, fmt.Errorf("nb: query dimension %d, want %d", len(x), c.dim)
+	}
+	if !x.IsFinite() {
+		return 0, errors.New("nb: query has non-finite values")
+	}
+	best, bestScore := -1, math.Inf(-1)
+	for label := range c.priors {
+		if !c.present[label] {
+			continue
+		}
+		score, err := c.LogPosterior(label, x)
+		if err != nil {
+			return 0, err
+		}
+		if score > bestScore {
+			best, bestScore = label, score
+		}
+	}
+	if best < 0 {
+		return 0, errors.New("nb: no trained classes")
+	}
+	return best, nil
+}
+
+// PredictAll classifies every record of a data set, in order.
+func (c *Classifier) PredictAll(test *dataset.Dataset) ([]int, error) {
+	out := make([]int, test.Len())
+	for i, x := range test.X {
+		l, err := c.Predict(x)
+		if err != nil {
+			return nil, fmt.Errorf("nb: record %d: %w", i, err)
+		}
+		out[i] = l
+	}
+	return out, nil
+}
+
+// Accuracy is a convenience scorer.
+func (c *Classifier) Accuracy(test *dataset.Dataset) (float64, error) {
+	preds, err := c.PredictAll(test)
+	if err != nil {
+		return 0, err
+	}
+	if len(preds) == 0 {
+		return 0, errors.New("nb: empty test data")
+	}
+	correct := 0
+	for i, p := range preds {
+		if p == test.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(preds)), nil
+}

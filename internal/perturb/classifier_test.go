@@ -1,0 +1,143 @@
+package perturb
+
+import (
+	"testing"
+
+	"condensation/internal/dataset"
+	"condensation/internal/mat"
+	"condensation/internal/rng"
+)
+
+// axisSeparated builds a two-class problem separable on each axis
+// independently — the regime where a marginals-only classifier works.
+func axisSeparated(seed uint64, perClass int) *dataset.Dataset {
+	r := rng.New(seed)
+	ds := &dataset.Dataset{
+		Name:       "axis",
+		Task:       dataset.Classification,
+		Attrs:      []string{"x", "y"},
+		ClassNames: []string{"a", "b"},
+	}
+	for i := 0; i < perClass; i++ {
+		ds.X = append(ds.X, mat.Vector{r.Norm(), r.Norm()})
+		ds.Labels = append(ds.Labels, 0)
+		ds.X = append(ds.X, mat.Vector{6 + r.Norm(), 6 + r.Norm()})
+		ds.Labels = append(ds.Labels, 1)
+	}
+	return ds
+}
+
+// diagonalSeparated builds a two-class problem whose classes differ ONLY
+// in the correlation between the attributes: identical marginals, so any
+// marginals-only method is blind to the class.
+func diagonalSeparated(seed uint64, perClass int) *dataset.Dataset {
+	r := rng.New(seed)
+	ds := &dataset.Dataset{
+		Name:       "diag",
+		Task:       dataset.Classification,
+		Attrs:      []string{"x", "y"},
+		ClassNames: []string{"pos", "neg"},
+	}
+	for i := 0; i < perClass; i++ {
+		b := r.Norm()
+		// Class 0: y ≈ +x. Class 1: y ≈ −x. Both marginals are N(0, 1).
+		ds.X = append(ds.X, mat.Vector{b, b + 0.2*r.Norm()})
+		ds.Labels = append(ds.Labels, 0)
+		c := r.Norm()
+		ds.X = append(ds.X, mat.Vector{c, -c + 0.2*r.Norm()})
+		ds.Labels = append(ds.Labels, 1)
+	}
+	return ds
+}
+
+func TestDistributionClassifierSeparable(t *testing.T) {
+	train := axisSeparated(1, 150)
+	test := axisSeparated(2, 40)
+	p := Perturber{Std: 1, Family: NoiseGaussian}
+	c, err := TrainDistributionClassifier(train, p, ReconstructOptions{Bins: 40, MaxIter: 100}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := c.PredictAll(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, pr := range preds {
+		if pr == test.Labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(test.Len()); acc < 0.95 {
+		t.Errorf("accuracy %.3f on axis-separable data, want ≥ 0.95", acc)
+	}
+}
+
+// The structural weakness the condensation paper calls out: a classifier
+// restricted to independently reconstructed marginals cannot see
+// correlation-only class structure, no matter how small the noise.
+func TestDistributionClassifierBlindToCorrelation(t *testing.T) {
+	train := diagonalSeparated(4, 300)
+	test := diagonalSeparated(5, 100)
+	p := Perturber{Std: 0.1, Family: NoiseGaussian}
+	c, err := TrainDistributionClassifier(train, p, ReconstructOptions{Bins: 40, MaxIter: 50}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := c.PredictAll(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, pr := range preds {
+		if pr == test.Labels[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(test.Len())
+	if acc > 0.65 {
+		t.Errorf("marginals-only classifier scored %.3f on correlation-only data; it should be near chance", acc)
+	}
+}
+
+func TestDistributionClassifierErrors(t *testing.T) {
+	reg := &dataset.Dataset{Task: dataset.Regression, X: []mat.Vector{{1}}, Targets: []float64{1}}
+	p := Perturber{Std: 1, Family: NoiseGaussian}
+	if _, err := TrainDistributionClassifier(reg, p, ReconstructOptions{}, rng.New(1)); err == nil {
+		t.Error("regression data accepted")
+	}
+	empty := &dataset.Dataset{Task: dataset.Classification}
+	if _, err := TrainDistributionClassifier(empty, p, ReconstructOptions{}, rng.New(1)); err == nil {
+		t.Error("empty data accepted")
+	}
+	bad := axisSeparated(7, 3)
+	bad.Labels = bad.Labels[:2]
+	if _, err := TrainDistributionClassifier(bad, p, ReconstructOptions{}, rng.New(1)); err == nil {
+		t.Error("invalid data accepted")
+	}
+	train := axisSeparated(8, 10)
+	c, err := TrainDistributionClassifier(train, p, ReconstructOptions{Bins: 10, MaxIter: 5}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Predict(mat.Vector{1}); err == nil {
+		t.Error("wrong query dimension accepted")
+	}
+}
+
+func TestDistributionClassifierSkipsEmptyClasses(t *testing.T) {
+	train := axisSeparated(9, 10)
+	train.ClassNames = append(train.ClassNames, "ghost") // class 2 has no records
+	p := Perturber{Std: 0.5, Family: NoiseGaussian}
+	c, err := TrainDistributionClassifier(train, p, ReconstructOptions{Bins: 10, MaxIter: 5}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Predict(mat.Vector{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == 2 {
+		t.Error("ghost class predicted")
+	}
+}

@@ -1,0 +1,236 @@
+package perturb
+
+import (
+	"math"
+	"testing"
+
+	"condensation/internal/mat"
+	"condensation/internal/rng"
+)
+
+func TestPerturbAddsNoiseOfRightScale(t *testing.T) {
+	recs := make([]mat.Vector, 5000)
+	for i := range recs {
+		recs[i] = mat.Vector{1, 2}
+	}
+	for _, family := range []Noise{NoiseGaussian, NoiseUniform} {
+		p := Perturber{Std: 2, Family: family}
+		noisy, err := p.Perturb(recs, rng.New(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum, sumSq float64
+		for _, w := range noisy {
+			e := w[0] - 1
+			sum += e
+			sumSq += e * e
+		}
+		n := float64(len(noisy))
+		mean := sum / n
+		std := math.Sqrt(sumSq/n - mean*mean)
+		if math.Abs(mean) > 0.1 {
+			t.Errorf("%v: noise mean %g, want ≈ 0", family, mean)
+		}
+		if math.Abs(std-2) > 0.1 {
+			t.Errorf("%v: noise std %g, want ≈ 2", family, std)
+		}
+	}
+}
+
+func TestPerturbLeavesOriginalsAlone(t *testing.T) {
+	recs := []mat.Vector{{1, 2}, {3, 4}}
+	p := Perturber{Std: 1, Family: NoiseGaussian}
+	if _, err := p.Perturb(recs, rng.New(2)); err != nil {
+		t.Fatal(err)
+	}
+	if !recs[0].Equal(mat.Vector{1, 2}, 0) {
+		t.Error("Perturb mutated its input")
+	}
+}
+
+func TestPerturbErrors(t *testing.T) {
+	recs := []mat.Vector{{1}}
+	if _, err := (Perturber{Std: -1}).Perturb(recs, rng.New(1)); err == nil {
+		t.Error("negative σ accepted")
+	}
+	if _, err := (Perturber{Std: 1}).Perturb(recs, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := (Perturber{Std: 1, Family: Noise(9)}).Perturb(recs, rng.New(1)); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestReconstructBimodal(t *testing.T) {
+	// Original X: half the mass at −5, half at +5. After Gaussian noise
+	// with σ=1, reconstruction must recover two far-apart modes.
+	r := rng.New(3)
+	p := Perturber{Std: 1, Family: NoiseGaussian}
+	var perturbed []float64
+	for i := 0; i < 2000; i++ {
+		x := -5.0
+		if i%2 == 0 {
+			x = 5
+		}
+		perturbed = append(perturbed, x+p.Std*r.Norm())
+	}
+	h, err := p.Reconstruct(perturbed, ReconstructOptions{Bins: 60, MaxIter: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var massNeg, massPos, massMid float64
+	for b, pb := range h.P {
+		c := h.Center(b)
+		switch {
+		case c < -3:
+			massNeg += pb
+		case c > 3:
+			massPos += pb
+		case c > -1.5 && c < 1.5:
+			massMid += pb
+		}
+	}
+	if massNeg < 0.35 || massPos < 0.35 {
+		t.Errorf("modes not recovered: mass(−) = %.3f, mass(+) = %.3f", massNeg, massPos)
+	}
+	if massMid > 0.1 {
+		t.Errorf("middle mass %.3f, want ≈ 0 (noise not deconvolved)", massMid)
+	}
+}
+
+func TestReconstructMeanPreserved(t *testing.T) {
+	r := rng.New(4)
+	p := Perturber{Std: 0.5, Family: NoiseUniform}
+	var perturbed []float64
+	for i := 0; i < 3000; i++ {
+		x := r.NormMeanStd(2, 1)
+		noisy, err := p.Perturb([]mat.Vector{{x}}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perturbed = append(perturbed, noisy[0][0])
+	}
+	h, err := p.Reconstruct(perturbed, ReconstructOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h.Mean()-2) > 0.15 {
+		t.Errorf("reconstructed mean %g, want ≈ 2", h.Mean())
+	}
+}
+
+func TestReconstructZeroNoiseIsExactHistogram(t *testing.T) {
+	p := Perturber{Std: 0, Family: NoiseGaussian}
+	h, err := p.Reconstruct([]float64{0, 0, 1, 1, 1, 1}, ReconstructOptions{Bins: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h.P[0]-1.0/3) > 1e-12 || math.Abs(h.P[1]-2.0/3) > 1e-12 {
+		t.Errorf("σ=0 histogram = %v, want [1/3 2/3]", h.P)
+	}
+}
+
+func TestReconstructErrors(t *testing.T) {
+	p := Perturber{Std: 1, Family: NoiseGaussian}
+	if _, err := p.Reconstruct(nil, ReconstructOptions{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := p.Reconstruct([]float64{math.NaN()}, ReconstructOptions{}); err == nil {
+		t.Error("NaN input accepted")
+	}
+}
+
+func TestReconstructMassSumsToOne(t *testing.T) {
+	r := rng.New(5)
+	p := Perturber{Std: 1, Family: NoiseGaussian}
+	var perturbed []float64
+	for i := 0; i < 500; i++ {
+		perturbed = append(perturbed, r.Norm()+p.Std*r.Norm())
+	}
+	h, err := p.Reconstruct(perturbed, ReconstructOptions{Bins: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, pb := range h.P {
+		if pb < 0 {
+			t.Fatalf("negative bin mass %g", pb)
+		}
+		total += pb
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("total mass %g, want 1", total)
+	}
+}
+
+func TestHistogramDensityAndAccessors(t *testing.T) {
+	h := &Histogram{Lo: 0, Hi: 10, P: []float64{0.5, 0.5}}
+	if h.Bins() != 2 || h.Width() != 5 {
+		t.Errorf("Bins=%d Width=%g", h.Bins(), h.Width())
+	}
+	if h.Center(0) != 2.5 || h.Center(1) != 7.5 {
+		t.Errorf("Centers %g %g", h.Center(0), h.Center(1))
+	}
+	if h.Density(-1) != 0 || h.Density(11) != 0 {
+		t.Error("out-of-range density nonzero")
+	}
+	if math.Abs(h.Density(3)-0.1) > 1e-12 {
+		t.Errorf("Density(3) = %g, want 0.1", h.Density(3))
+	}
+	// The right edge belongs to the last bin.
+	if math.Abs(h.Density(10)-0.1) > 1e-12 {
+		t.Errorf("Density(10) = %g, want 0.1", h.Density(10))
+	}
+	if h.Mean() != 5 {
+		t.Errorf("Mean = %g, want 5", h.Mean())
+	}
+}
+
+func TestPrivacyInterval(t *testing.T) {
+	g := Perturber{Std: 1, Family: NoiseGaussian}
+	w, err := g.PrivacyInterval(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-2*1.959963985) > 1e-3 {
+		t.Errorf("Gaussian 95%% interval %g, want ≈ 3.92", w)
+	}
+	u := Perturber{Std: 1, Family: NoiseUniform}
+	w, err = u.PrivacyInterval(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-math.Sqrt(3)) > 1e-9 {
+		t.Errorf("Uniform 50%% interval %g, want √3", w)
+	}
+	if _, err := g.PrivacyInterval(0); err == nil {
+		t.Error("confidence 0 accepted")
+	}
+	if _, err := g.PrivacyInterval(1); err == nil {
+		t.Error("confidence 1 accepted")
+	}
+	if _, err := (Perturber{Std: 1, Family: Noise(9)}).PrivacyInterval(0.5); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestNoiseString(t *testing.T) {
+	if NoiseGaussian.String() != "gaussian" || NoiseUniform.String() != "uniform" {
+		t.Error("Noise.String wrong")
+	}
+	if Noise(9).String() == "" {
+		t.Error("unknown Noise String empty")
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := map[float64]float64{0.5: 0, 0.975: 1.959963985, 0.025: -1.959963985, 0.999: 3.090232306}
+	for p, want := range cases {
+		if got := normalQuantile(p); math.Abs(got-want) > 1e-6 {
+			t.Errorf("Φ⁻¹(%g) = %g, want %g", p, got, want)
+		}
+	}
+	if !math.IsNaN(normalQuantile(0)) || !math.IsNaN(normalQuantile(1)) {
+		t.Error("quantile at 0/1 not NaN")
+	}
+}

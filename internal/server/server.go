@@ -1,0 +1,261 @@
+// Package server exposes a dynamic condensation over HTTP: records are
+// POSTed as they are collected, only the per-group aggregate statistics
+// are retained in memory, and anonymized snapshots can be synthesized at
+// any time. It is the deployment shape the paper's dynamic setting
+// implies — a data-collection endpoint that can publish privacy-preserving
+// data continuously — built on net/http and the core package.
+//
+// Endpoints (all JSON unless noted):
+//
+//	POST /v1/records    {"records": [[...], ...]}     add stream records
+//	GET  /v1/snapshot   ?seed=N                       synthesize anonymized records
+//	GET  /v1/stats                                    condensation statistics + audit
+//	GET  /v1/checkpoint                               binary condensation state (octet-stream)
+//	GET  /healthz                                     liveness probe
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"condensation/internal/core"
+	"condensation/internal/mat"
+	"condensation/internal/privacy"
+	"condensation/internal/rng"
+)
+
+// Config configures a condensation server.
+type Config struct {
+	// Dim is the record dimensionality.
+	Dim int
+	// K is the indistinguishability level.
+	K int
+	// Options tunes condensation behaviour.
+	Options core.Options
+	// Seed seeds the server's split-axis randomness.
+	Seed uint64
+	// MaxBatch bounds the records accepted per POST (default 10000).
+	MaxBatch int
+	// Initial optionally seeds the server with an existing condensation
+	// (e.g. loaded from a checkpoint); its dim/k/options take precedence.
+	Initial *core.Condensation
+}
+
+// Server is a thread-safe condensation HTTP service.
+type Server struct {
+	mu       sync.Mutex
+	dyn      *core.Dynamic
+	k        int
+	dim      int
+	maxBatch int
+	mux      *http.ServeMux
+}
+
+// New builds a server.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 10000
+	}
+	var dyn *core.Dynamic
+	var err error
+	if cfg.Initial != nil {
+		dyn, err = core.NewDynamic(cfg.Initial, rng.New(cfg.Seed))
+	} else {
+		dyn, err = core.NewDynamicEmpty(cfg.Dim, cfg.K, cfg.Options, rng.New(cfg.Seed))
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		dyn:      dyn,
+		k:        dyn.K(),
+		dim:      dyn.Dim(),
+		maxBatch: cfg.MaxBatch,
+		mux:      http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/records", s.handleRecords)
+	s.mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// recordsRequest is the POST /v1/records body.
+type recordsRequest struct {
+	Records [][]float64 `json:"records"`
+}
+
+// recordsResponse confirms ingestion.
+type recordsResponse struct {
+	Accepted int `json:"accepted"`
+	Groups   int `json:"groups"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding of our own response structs cannot fail.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req recordsRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	if len(req.Records) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no records in request"))
+		return
+	}
+	if len(req.Records) > s.maxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d exceeds limit %d", len(req.Records), s.maxBatch))
+		return
+	}
+	// Validate the whole batch before admitting any of it, so a bad row
+	// cannot leave a half-ingested batch.
+	records := make([]mat.Vector, len(req.Records))
+	for i, row := range req.Records {
+		if len(row) != s.dim {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("record %d has dimension %d, want %d", i, len(row), s.dim))
+			return
+		}
+		v := mat.Vector(row)
+		if !v.IsFinite() {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("record %d has non-finite values", i))
+			return
+		}
+		records[i] = v
+	}
+
+	s.mu.Lock()
+	err := s.dyn.AddAll(records)
+	groups := s.dyn.NumGroups()
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, recordsResponse{Accepted: len(records), Groups: groups})
+}
+
+// snapshotResponse carries a synthesized anonymized data set.
+type snapshotResponse struct {
+	Records [][]float64 `json:"records"`
+	Groups  int         `json:"groups"`
+	K       int         `json:"k"`
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	seed := uint64(1)
+	if q := r.URL.Query().Get("seed"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad seed %q", q))
+			return
+		}
+		seed = v
+	}
+	s.mu.Lock()
+	cond := s.dyn.Condensation()
+	s.mu.Unlock()
+	if cond.TotalCount() == 0 {
+		writeError(w, http.StatusConflict, errors.New("no records condensed yet"))
+		return
+	}
+	synth, err := cond.Synthesize(rng.New(seed))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := snapshotResponse{Groups: cond.NumGroups(), K: cond.K()}
+	for _, x := range synth {
+		resp.Records = append(resp.Records, []float64(x))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statsResponse summarizes the live condensation.
+type statsResponse struct {
+	Dim          int     `json:"dim"`
+	K            int     `json:"k"`
+	Groups       int     `json:"groups"`
+	Records      int     `json:"records"`
+	MinGroupSize int     `json:"min_group_size"`
+	MaxGroupSize int     `json:"max_group_size"`
+	AvgGroupSize float64 `json:"avg_group_size"`
+	KSatisfied   bool    `json:"k_satisfied"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	s.mu.Lock()
+	cond := s.dyn.Condensation()
+	s.mu.Unlock()
+	resp := statsResponse{Dim: cond.Dim(), K: cond.K(), Groups: cond.NumGroups(), Records: cond.TotalCount()}
+	if cond.NumGroups() > 0 {
+		audit, err := privacy.AuditGroups(cond.Groups(), cond.K())
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.MinGroupSize = audit.MinSize
+		resp.MaxGroupSize = audit.MaxSize
+		resp.AvgGroupSize = audit.MeanSize
+		resp.KSatisfied = audit.Satisfied()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	s.mu.Lock()
+	cond := s.dyn.Condensation()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := cond.WriteTo(w); err != nil {
+		// Headers are already sent; nothing more we can do than drop the
+		// connection, which the client sees as a truncated body.
+		return
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}

@@ -1,0 +1,301 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"condensation/internal/core"
+	"condensation/internal/rng"
+)
+
+func newTestServer(t *testing.T, k int) *httptest.Server {
+	t.Helper()
+	s, err := New(Config{Dim: 2, K: k, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postRecords(t *testing.T, ts *httptest.Server, records [][]float64) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(map[string]interface{}{"records": records})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/records", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func genRecords(seed uint64, n int) [][]float64 {
+	r := rng.New(seed)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = []float64{r.Norm(), r.Norm()}
+	}
+	return out
+}
+
+func TestIngestAndStats(t *testing.T) {
+	ts := newTestServer(t, 5)
+	resp := postRecords(t, ts, genRecords(1, 60))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST status %d", resp.StatusCode)
+	}
+	var rr recordsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Accepted != 60 || rr.Groups < 1 {
+		t.Errorf("response %+v", rr)
+	}
+
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var sr statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Records != 60 || sr.K != 5 || sr.Dim != 2 {
+		t.Errorf("stats %+v", sr)
+	}
+	if sr.MaxGroupSize >= 10 {
+		t.Errorf("max group size %d ≥ 2k", sr.MaxGroupSize)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	ts := newTestServer(t, 4)
+	postRecords(t, ts, genRecords(2, 40))
+
+	resp, err := http.Get(ts.URL + "/v1/snapshot?seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status %d", resp.StatusCode)
+	}
+	var sr snapshotResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Records) != 40 {
+		t.Errorf("snapshot has %d records, want 40", len(sr.Records))
+	}
+	for i, rec := range sr.Records {
+		if len(rec) != 2 {
+			t.Fatalf("record %d has dimension %d", i, len(rec))
+		}
+	}
+
+	// Same seed → identical snapshot (determinism across HTTP).
+	resp2, err := http.Get(ts.URL + "/v1/snapshot?seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var sr2 snapshotResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&sr2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range sr.Records {
+		for j := range sr.Records[i] {
+			if sr.Records[i][j] != sr2.Records[i][j] {
+				t.Fatal("snapshots with identical seeds differ")
+			}
+		}
+	}
+}
+
+func TestSnapshotEmptyConflict(t *testing.T) {
+	ts := newTestServer(t, 3)
+	resp, err := http.Get(ts.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("empty snapshot status %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := newTestServer(t, 3)
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"empty body", ``, http.StatusBadRequest},
+		{"no records", `{"records": []}`, http.StatusBadRequest},
+		{"wrong dim", `{"records": [[1]]}`, http.StatusBadRequest},
+		{"non finite", `{"records": [[1, 1e999]]}`, http.StatusBadRequest},
+		{"unknown field", `{"record": [[1,2]]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/records", "application/json", bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestBatchLimit(t *testing.T) {
+	s, err := New(Config{Dim: 2, K: 2, Seed: 1, MaxBatch: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	body, _ := json.Marshal(map[string]interface{}{"records": genRecords(3, 6)})
+	resp, err := http.Post(ts.URL+"/v1/records", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch status %d", resp.StatusCode)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts := newTestServer(t, 3)
+	for _, path := range []string{"/v1/records", "/v1/snapshot", "/v1/stats", "/v1/checkpoint"} {
+		method := http.MethodGet
+		if path != "/v1/records" {
+			method = http.MethodPost
+		}
+		req, err := http.NewRequest(method, ts.URL+path, bytes.NewReader([]byte("{}")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d", method, path, resp.StatusCode)
+		}
+	}
+}
+
+func TestHealth(t *testing.T) {
+	ts := newTestServer(t, 3)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	ts := newTestServer(t, 4)
+	postRecords(t, ts, genRecords(4, 50))
+
+	resp, err := http.Get(ts.URL + "/v1/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint status %d", resp.StatusCode)
+	}
+	cond, err := core.ReadCondensation(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cond.TotalCount() != 50 || cond.K() != 4 {
+		t.Errorf("checkpoint: %d records, k=%d", cond.TotalCount(), cond.K())
+	}
+
+	// A new server seeded from the checkpoint carries the state forward.
+	s2, err := New(Config{Seed: 9, Initial: cond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	statsResp, err := http.Get(ts2.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var sr statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Records != 50 {
+		t.Errorf("restored server has %d records, want 50", sr.Records)
+	}
+}
+
+func TestConcurrentIngest(t *testing.T) {
+	ts := newTestServer(t, 5)
+	const workers, perWorker = 8, 25
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			body, _ := json.Marshal(map[string]interface{}{"records": genRecords(uint64(w+10), perWorker)})
+			resp, err := http.Post(ts.URL+"/v1/records", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var sr statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Records != workers*perWorker {
+		t.Errorf("after concurrent ingest: %d records, want %d", sr.Records, workers*perWorker)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Dim: 0, K: 2}); err == nil {
+		t.Error("dim=0 accepted")
+	}
+	if _, err := New(Config{Dim: 2, K: 0}); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"errors"
+	"math"
+
+	"condensation/internal/mat"
+)
+
+// MeanVector returns the per-attribute mean of a set of records.
+func MeanVector(records []mat.Vector) (mat.Vector, error) {
+	if len(records) == 0 {
+		return nil, errors.New("stats: MeanVector of no records")
+	}
+	d := len(records[0])
+	mean := mat.NewVector(d)
+	for _, x := range records {
+		if len(x) != d {
+			return nil, errors.New("stats: ragged records")
+		}
+		mean.AddScaled(1, x)
+	}
+	return mean.Scale(1 / float64(len(records))), nil
+}
+
+// CovarianceMatrix returns the population covariance matrix of a set of
+// records, computed in the numerically stable centred form
+// (1/n)·Σ (x−µ)(x−µ)ᵀ. This is the reference implementation the Group
+// sum-of-products form is tested against.
+func CovarianceMatrix(records []mat.Vector) (*mat.Matrix, error) {
+	mean, err := MeanVector(records)
+	if err != nil {
+		return nil, err
+	}
+	d := len(mean)
+	c := mat.New(d, d)
+	for _, x := range records {
+		dev := x.Sub(mean)
+		for i, di := range dev {
+			row := c.Row(i)
+			for j, dj := range dev {
+				row[j] += di * dj
+			}
+		}
+	}
+	return c.Scale(1 / float64(len(records))), nil
+}
+
+// Pearson returns the Pearson correlation coefficient between two
+// equal-length samples. It returns 0 when either sample has zero variance.
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, errors.New("stats: Pearson length mismatch")
+	}
+	if len(x) == 0 {
+		return 0, errors.New("stats: Pearson of empty samples")
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// StdDev returns the population standard deviation of a sample, or 0 for a
+// sample of fewer than one element.
+func StdDev(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	n := float64(len(x))
+	var sum float64
+	for _, v := range x {
+		sum += v
+	}
+	mean := sum / n
+	var ss float64
+	for _, v := range x {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / n)
+}

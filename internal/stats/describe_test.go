@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"condensation/internal/mat"
+)
+
+func TestMeanVector(t *testing.T) {
+	m, err := MeanVector([]mat.Vector{{1, 2}, {3, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(mat.Vector{2, 4}, 1e-12) {
+		t.Errorf("MeanVector = %v", m)
+	}
+}
+
+func TestMeanVectorErrors(t *testing.T) {
+	if _, err := MeanVector(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := MeanVector([]mat.Vector{{1}, {1, 2}}); err == nil {
+		t.Error("ragged input accepted")
+	}
+}
+
+func TestCovarianceMatrixKnown(t *testing.T) {
+	// Two perfectly correlated attributes.
+	recs := []mat.Vector{{0, 0}, {1, 2}, {2, 4}}
+	c, err := CovarianceMatrix(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// var(x) = 2/3, var(y) = 8/3, cov = 4/3.
+	want := mat.FromRows([][]float64{{2.0 / 3, 4.0 / 3}, {4.0 / 3, 8.0 / 3}})
+	if !c.Equal(want, 1e-12) {
+		t.Errorf("CovarianceMatrix = %v, want %v", c, want)
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2, 4, 6, 8}
+	r, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("Pearson = %g, want 1", r)
+	}
+	neg := []float64{8, 6, 4, 2}
+	r, _ = Pearson(x, neg)
+	if math.Abs(r+1) > 1e-12 {
+		t.Errorf("Pearson = %g, want -1", r)
+	}
+}
+
+func TestPearsonZeroVariance(t *testing.T) {
+	r, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Errorf("Pearson with constant sample = %g, want 0", r)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Pearson(nil, nil); err == nil {
+		t.Error("empty samples accepted")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %g, want 2", got)
+	}
+	if got := StdDev(nil); got != 0 {
+		t.Errorf("StdDev(nil) = %g", got)
+	}
+}

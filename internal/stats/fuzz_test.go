@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"testing"
+
+	"condensation/internal/mat"
+)
+
+// FuzzGroupUnmarshal throws arbitrary bytes at the binary decoder: it must
+// either reject the input or produce a structurally consistent group —
+// never panic.
+func FuzzGroupUnmarshal(f *testing.F) {
+	good, err := FromRecords([]mat.Vector{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed, err := good.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(make([]byte, 20))
+	f.Add(seed[:len(seed)-3])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g Group
+		if err := g.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if g.Dim() <= 0 {
+			t.Fatalf("accepted group with dimension %d", g.Dim())
+		}
+		// Every accepted group must round-trip identically.
+		out, err := g.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		var h Group
+		if err := h.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if h.Dim() != g.Dim() || h.N() != g.N() {
+			t.Fatalf("round trip changed shape: %v vs %v", h, g)
+		}
+	})
+}

@@ -1,0 +1,265 @@
+// Package stats implements the condensed-unit aggregate statistics at the
+// heart of the condensation approach: for a group G of d-dimensional
+// records it maintains
+//
+//	Fs_j(G)  — the first-order sums  Σ x_j          (one per attribute),
+//	Sc_ij(G) — the second-order sums Σ x_i·x_j      (one per attribute pair),
+//	n(G)     — the record count,
+//
+// exactly the triple (Sc(G), Fs(G), n(G)) the paper stores per group. The
+// group mean and covariance follow from the paper's Observations 1 and 2:
+//
+//	mean_j = Fs_j/n
+//	cov_ij = Sc_ij/n − Fs_i·Fs_j/n²
+//
+// The representation is additive: adding a record, merging two groups, and
+// building a group from raw records are all exact integer-count sum
+// updates, which is what makes the dynamic (streaming) maintenance of
+// Section 3 of the paper possible without retaining any raw records.
+package stats
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"condensation/internal/mat"
+)
+
+// Group is the aggregate statistics of one condensed group. The zero value
+// is unusable; construct with NewGroup or FromMoments.
+type Group struct {
+	dim int
+	n   int
+	fs  mat.Vector  // first-order sums, length dim
+	sc  *mat.Matrix // second-order sums, dim×dim symmetric
+}
+
+// NewGroup returns an empty group over d-dimensional records.
+func NewGroup(d int) *Group {
+	if d <= 0 {
+		panic(fmt.Sprintf("stats: non-positive dimension %d", d))
+	}
+	return &Group{dim: d, fs: mat.NewVector(d), sc: mat.New(d, d)}
+}
+
+// FromRecords builds a group from raw records.
+func FromRecords(records []mat.Vector) (*Group, error) {
+	if len(records) == 0 {
+		return nil, errors.New("stats: FromRecords with no records")
+	}
+	g := NewGroup(len(records[0]))
+	for i, x := range records {
+		if err := g.Add(x); err != nil {
+			return nil, fmt.Errorf("stats: record %d: %w", i, err)
+		}
+	}
+	return g, nil
+}
+
+// FromMoments builds a group directly from a count, first-order sums, and
+// second-order sums. The split procedure of the dynamic algorithm uses this
+// to materialize the two child groups from derived moments (Equation 3 of
+// the paper). The inputs are copied.
+func FromMoments(n int, fs mat.Vector, sc *mat.Matrix) (*Group, error) {
+	d := len(fs)
+	if d == 0 {
+		return nil, errors.New("stats: FromMoments with empty first-order sums")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: FromMoments with non-positive count %d", n)
+	}
+	if sc.Rows() != d || sc.Cols() != d {
+		return nil, fmt.Errorf("stats: FromMoments shape mismatch: fs %d, sc %dx%d", d, sc.Rows(), sc.Cols())
+	}
+	if !fs.IsFinite() || !sc.IsFinite() {
+		return nil, errors.New("stats: FromMoments with non-finite moments")
+	}
+	return &Group{dim: d, n: n, fs: fs.Clone(), sc: sc.Clone().Symmetrize()}, nil
+}
+
+// Dim returns the attribute dimensionality d.
+func (g *Group) Dim() int { return g.dim }
+
+// N returns n(G), the number of condensed records.
+func (g *Group) N() int { return g.n }
+
+// Add folds one record into the group: Fs += x, Sc += x·xᵀ, n += 1.
+func (g *Group) Add(x mat.Vector) error {
+	if len(x) != g.dim {
+		return fmt.Errorf("stats: record dimension %d, group dimension %d", len(x), g.dim)
+	}
+	if !x.IsFinite() {
+		return errors.New("stats: record has non-finite values")
+	}
+	for i, xi := range x {
+		g.fs[i] += xi
+		row := g.sc.Row(i)
+		for j, xj := range x {
+			row[j] += xi * xj
+		}
+	}
+	g.n++
+	return nil
+}
+
+// Merge folds the other group's statistics into g. Merging is exact: the
+// result is identical to having added all underlying records to g.
+func (g *Group) Merge(other *Group) error {
+	if other.dim != g.dim {
+		return fmt.Errorf("stats: merge dimension mismatch %d != %d", other.dim, g.dim)
+	}
+	g.fs.AddScaled(1, other.fs)
+	for i := 0; i < g.dim; i++ {
+		row, orow := g.sc.Row(i), other.sc.Row(i)
+		for j := range row {
+			row[j] += orow[j]
+		}
+	}
+	g.n += other.n
+	return nil
+}
+
+// Clone returns an independent deep copy of g.
+func (g *Group) Clone() *Group {
+	return &Group{dim: g.dim, n: g.n, fs: g.fs.Clone(), sc: g.sc.Clone()}
+}
+
+// FirstOrderSums returns a copy of Fs(G).
+func (g *Group) FirstOrderSums() mat.Vector { return g.fs.Clone() }
+
+// SecondOrderSums returns a copy of Sc(G).
+func (g *Group) SecondOrderSums() *mat.Matrix { return g.sc.Clone() }
+
+// Mean returns the group centroid Y(G) = Fs(G)/n(G) (Observation 1 /
+// Equation 2 of the paper). It returns an error on an empty group.
+func (g *Group) Mean() (mat.Vector, error) {
+	if g.n == 0 {
+		return nil, errors.New("stats: mean of empty group")
+	}
+	return g.fs.Scale(1 / float64(g.n)), nil
+}
+
+// Covariance returns the population covariance matrix C(G) with entries
+// C_ij = Sc_ij/n − Fs_i·Fs_j/n² (Observation 2 of the paper). The matrix is
+// exactly symmetric; tiny negative diagonal entries arising from floating-
+// point cancellation are floored at zero.
+func (g *Group) Covariance() (*mat.Matrix, error) {
+	if g.n == 0 {
+		return nil, errors.New("stats: covariance of empty group")
+	}
+	n := float64(g.n)
+	c := mat.New(g.dim, g.dim)
+	for i := 0; i < g.dim; i++ {
+		for j := i; j < g.dim; j++ {
+			v := g.sc.At(i, j)/n - g.fs[i]*g.fs[j]/(n*n)
+			if i == j && v < 0 {
+				v = 0
+			}
+			c.Set(i, j, v)
+			c.Set(j, i, v)
+		}
+	}
+	return c, nil
+}
+
+// Variance returns the population variance of attribute j.
+func (g *Group) Variance(j int) (float64, error) {
+	if j < 0 || j >= g.dim {
+		return 0, fmt.Errorf("stats: attribute %d out of range [0,%d)", j, g.dim)
+	}
+	if g.n == 0 {
+		return 0, errors.New("stats: variance of empty group")
+	}
+	n := float64(g.n)
+	v := g.sc.At(j, j)/n - g.fs[j]*g.fs[j]/(n*n)
+	if v < 0 {
+		v = 0
+	}
+	return v, nil
+}
+
+// Eigen returns the eigendecomposition C(G) = P Λ Pᵀ of the group
+// covariance (Equation 1 of the paper), with eigenvalues clamped to be
+// non-negative, ordered λ₁ ≥ … ≥ λ_d.
+func (g *Group) Eigen() (mat.Eigen, error) {
+	c, err := g.Covariance()
+	if err != nil {
+		return mat.Eigen{}, err
+	}
+	e, err := mat.SymEigen(c)
+	if err != nil {
+		return mat.Eigen{}, err
+	}
+	return e.ClampPSD(), nil
+}
+
+// groupMagic identifies the binary encoding of a Group.
+const groupMagic = 0x434e4447 // "CNDG"
+
+// MarshalBinary encodes the group as a portable little-endian byte stream:
+// magic, dim, n, Fs, then the upper triangle of Sc.
+func (g *Group) MarshalBinary() ([]byte, error) {
+	tri := g.dim * (g.dim + 1) / 2
+	buf := make([]byte, 0, 4+8+8+8*g.dim+8*tri)
+	buf = binary.LittleEndian.AppendUint32(buf, groupMagic)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(g.dim))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(g.n))
+	for _, x := range g.fs {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+	}
+	for i := 0; i < g.dim; i++ {
+		for j := i; j < g.dim; j++ {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(g.sc.At(i, j)))
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a byte stream produced by MarshalBinary.
+func (g *Group) UnmarshalBinary(data []byte) error {
+	if len(data) < 20 {
+		return errors.New("stats: truncated group encoding")
+	}
+	if binary.LittleEndian.Uint32(data[:4]) != groupMagic {
+		return errors.New("stats: bad group encoding magic")
+	}
+	dim := int(binary.LittleEndian.Uint64(data[4:12]))
+	n := int(binary.LittleEndian.Uint64(data[12:20]))
+	if dim <= 0 || dim > 1<<20 {
+		return fmt.Errorf("stats: implausible dimension %d in encoding", dim)
+	}
+	tri := dim * (dim + 1) / 2
+	want := 20 + 8*dim + 8*tri
+	if len(data) != want {
+		return fmt.Errorf("stats: group encoding length %d, want %d", len(data), want)
+	}
+	fs := mat.NewVector(dim)
+	off := 20
+	for i := range fs {
+		fs[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off : off+8]))
+		off += 8
+	}
+	sc := mat.New(dim, dim)
+	for i := 0; i < dim; i++ {
+		for j := i; j < dim; j++ {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data[off : off+8]))
+			off += 8
+			sc.Set(i, j, v)
+			sc.Set(j, i, v)
+		}
+	}
+	g.dim, g.n, g.fs, g.sc = dim, n, fs, sc
+	return nil
+}
+
+// String summarizes the group for logs and debugging.
+func (g *Group) String() string {
+	mean := "∅"
+	if g.n > 0 {
+		m, _ := g.Mean()
+		mean = fmt.Sprintf("%.4g", []float64(m))
+	}
+	return fmt.Sprintf("Group{d=%d n=%d mean=%s}", g.dim, g.n, mean)
+}

@@ -1,0 +1,348 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"condensation/internal/mat"
+	"condensation/internal/rng"
+)
+
+func records2D() []mat.Vector {
+	return []mat.Vector{
+		{1, 2}, {3, 4}, {5, 0}, {-1, 2}, {2, 2},
+	}
+}
+
+func TestNewGroupBadDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGroup(0) did not panic")
+		}
+	}()
+	NewGroup(0)
+}
+
+func TestGroupAddAndMean(t *testing.T) {
+	g := NewGroup(2)
+	for _, x := range records2D() {
+		if err := g.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.N() != 5 {
+		t.Fatalf("N = %d, want 5", g.N())
+	}
+	mean, err := g.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mean.Equal(mat.Vector{2, 2}, 1e-12) {
+		t.Errorf("Mean = %v, want [2 2]", mean)
+	}
+}
+
+func TestGroupAddDimensionMismatch(t *testing.T) {
+	g := NewGroup(2)
+	if err := g.Add(mat.Vector{1}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestGroupAddNonFinite(t *testing.T) {
+	g := NewGroup(2)
+	if err := g.Add(mat.Vector{1, math.NaN()}); err == nil {
+		t.Error("NaN record accepted")
+	}
+	if g.N() != 0 {
+		t.Error("failed Add mutated the group")
+	}
+}
+
+func TestGroupEmptyMeanCovariance(t *testing.T) {
+	g := NewGroup(2)
+	if _, err := g.Mean(); err == nil {
+		t.Error("mean of empty group accepted")
+	}
+	if _, err := g.Covariance(); err == nil {
+		t.Error("covariance of empty group accepted")
+	}
+	if _, err := g.Variance(0); err == nil {
+		t.Error("variance of empty group accepted")
+	}
+}
+
+// The paper's Observation 2 formula must agree with the numerically stable
+// centred covariance.
+func TestGroupCovarianceMatchesCentered(t *testing.T) {
+	recs := records2D()
+	g, err := FromRecords(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Covariance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := CovarianceMatrix(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 1e-10) {
+		t.Errorf("sum-form covariance:\n%v\ncentred covariance:\n%v", got, want)
+	}
+}
+
+func TestGroupCovarianceSingleRecord(t *testing.T) {
+	g, err := FromRecords([]mat.Vector{{3, -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := g.Covariance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equal(mat.New(2, 2), 1e-12) {
+		t.Errorf("covariance of single record = %v, want zero", c)
+	}
+}
+
+// Large-mean regime: the sum-of-products form suffers cancellation; verify
+// the implementation floors negative variances instead of returning them.
+func TestGroupCovarianceLargeMeanCancellation(t *testing.T) {
+	g := NewGroup(1)
+	base := 1e9
+	for i := 0; i < 100; i++ {
+		if err := g.Add(mat.Vector{base + float64(i%2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := g.Variance(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0 {
+		t.Errorf("variance %g < 0 under cancellation", v)
+	}
+	c, err := g.Covariance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.At(0, 0) < 0 {
+		t.Errorf("covariance diagonal %g < 0 under cancellation", c.At(0, 0))
+	}
+}
+
+func TestGroupMergeEqualsBulk(t *testing.T) {
+	recs := records2D()
+	g1, _ := FromRecords(recs[:2])
+	g2, _ := FromRecords(recs[2:])
+	if err := g1.Merge(g2); err != nil {
+		t.Fatal(err)
+	}
+	bulk, _ := FromRecords(recs)
+	if g1.N() != bulk.N() {
+		t.Fatalf("merged N = %d, want %d", g1.N(), bulk.N())
+	}
+	if !g1.FirstOrderSums().Equal(bulk.FirstOrderSums(), 1e-12) {
+		t.Error("merged Fs differs from bulk Fs")
+	}
+	if !g1.SecondOrderSums().Equal(bulk.SecondOrderSums(), 1e-12) {
+		t.Error("merged Sc differs from bulk Sc")
+	}
+}
+
+func TestGroupMergeDimensionMismatch(t *testing.T) {
+	if err := NewGroup(2).Merge(NewGroup(3)); err == nil {
+		t.Error("merge of mismatched dims accepted")
+	}
+}
+
+func TestGroupCloneIndependent(t *testing.T) {
+	g, _ := FromRecords(records2D())
+	c := g.Clone()
+	if err := c.Add(mat.Vector{100, 100}); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() == c.N() {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestFromRecordsEmpty(t *testing.T) {
+	if _, err := FromRecords(nil); err == nil {
+		t.Error("FromRecords(nil) accepted")
+	}
+}
+
+func TestFromMomentsValidation(t *testing.T) {
+	fs := mat.Vector{1, 2}
+	sc := mat.New(2, 2)
+	if _, err := FromMoments(0, fs, sc); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := FromMoments(1, mat.Vector{}, mat.New(0, 0)); err == nil {
+		t.Error("empty moments accepted")
+	}
+	if _, err := FromMoments(1, fs, mat.New(3, 3)); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	bad := mat.New(2, 2)
+	bad.Set(0, 0, math.Inf(1))
+	if _, err := FromMoments(1, fs, bad); err == nil {
+		t.Error("non-finite moments accepted")
+	}
+	g, err := FromMoments(3, fs, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.Dim() != 2 {
+		t.Errorf("FromMoments N=%d Dim=%d", g.N(), g.Dim())
+	}
+}
+
+func TestFromMomentsCopiesInputs(t *testing.T) {
+	fs := mat.Vector{1, 2}
+	sc := mat.New(2, 2)
+	g, err := FromMoments(1, fs, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs[0] = 99
+	sc.Set(0, 0, 99)
+	if g.FirstOrderSums()[0] == 99 || g.SecondOrderSums().At(0, 0) == 99 {
+		t.Error("FromMoments aliases caller data")
+	}
+}
+
+func TestGroupEigenPSD(t *testing.T) {
+	g, _ := FromRecords(records2D())
+	e, err := g.Eigen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range e.Values {
+		if v < 0 {
+			t.Errorf("clamped eigenvalue λ[%d] = %g < 0", i, v)
+		}
+	}
+	c, _ := g.Covariance()
+	if math.Abs(e.Values.Sum()-c.Trace()) > 1e-9*(1+c.Trace()) {
+		t.Errorf("eigen sum %g != trace %g", e.Values.Sum(), c.Trace())
+	}
+}
+
+func TestGroupBinaryRoundTrip(t *testing.T) {
+	g, _ := FromRecords(records2D())
+	data, err := g.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Group
+	if err := h.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != g.N() || h.Dim() != g.Dim() {
+		t.Fatalf("round trip N=%d Dim=%d, want N=%d Dim=%d", h.N(), h.Dim(), g.N(), g.Dim())
+	}
+	if !h.FirstOrderSums().Equal(g.FirstOrderSums(), 0) {
+		t.Error("Fs not preserved")
+	}
+	if !h.SecondOrderSums().Equal(g.SecondOrderSums(), 0) {
+		t.Error("Sc not preserved")
+	}
+}
+
+func TestGroupUnmarshalRejectsGarbage(t *testing.T) {
+	var g Group
+	if err := g.UnmarshalBinary(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if err := g.UnmarshalBinary(make([]byte, 40)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	good, _ := FromRecords(records2D())
+	data, _ := good.MarshalBinary()
+	if err := g.UnmarshalBinary(data[:len(data)-1]); err == nil {
+		t.Error("truncated encoding accepted")
+	}
+}
+
+func TestGroupString(t *testing.T) {
+	g := NewGroup(2)
+	if s := g.String(); s == "" {
+		t.Error("empty String()")
+	}
+	_ = g.Add(mat.Vector{1, 1})
+	if s := g.String(); s == "" {
+		t.Error("empty String() for nonempty group")
+	}
+}
+
+// Property: Add order does not change the statistics (addition is
+// commutative up to floating-point round-off).
+func TestGroupAddOrderInvariance(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + r.IntN(20)
+		recs := make([]mat.Vector, n)
+		for i := range recs {
+			recs[i] = mat.Vector{r.Uniform(-5, 5), r.Uniform(-5, 5), r.Uniform(-5, 5)}
+		}
+		g1, err := FromRecords(recs)
+		if err != nil {
+			return false
+		}
+		perm := r.Perm(n)
+		g2 := NewGroup(3)
+		for _, idx := range perm {
+			if err := g2.Add(recs[idx]); err != nil {
+				return false
+			}
+		}
+		return g1.FirstOrderSums().Equal(g2.FirstOrderSums(), 1e-9) &&
+			g1.SecondOrderSums().Equal(g2.SecondOrderSums(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the covariance from group moments is PSD after eigen clamping
+// and symmetric by construction.
+func TestGroupCovarianceSymmetricProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.IntN(30)
+		g := NewGroup(4)
+		for i := 0; i < n; i++ {
+			x := mat.Vector{r.Norm(), r.Norm() * 3, r.Uniform(-1, 1), r.Norm() + 5}
+			if err := g.Add(x); err != nil {
+				return false
+			}
+		}
+		c, err := g.Covariance()
+		if err != nil {
+			return false
+		}
+		return c.IsSymmetric(0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGroupAdd34(b *testing.B) {
+	g := NewGroup(34)
+	x := make(mat.Vector, 34)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.Add(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

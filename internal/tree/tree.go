@@ -1,0 +1,259 @@
+// Package tree implements a CART-style decision-tree classifier. It is
+// the second "existing data mining algorithm" the experiment harness runs
+// unmodified on condensation-anonymized data (the paper's core claim is
+// that no problem-specific redesign is needed), and it is also the
+// single-attribute-split family that the Agrawal–Srikant perturbation
+// approach supports — so the harness can compare both anonymization
+// routes on the classifier class where both are applicable.
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"condensation/internal/dataset"
+	"condensation/internal/mat"
+)
+
+// Options tunes tree induction. The zero value uses sane defaults.
+type Options struct {
+	// MaxDepth bounds the tree depth (default 12).
+	MaxDepth int
+	// MinLeaf is the minimum number of records in a leaf (default 5).
+	MinLeaf int
+	// MinGain is the minimum Gini impurity decrease to accept a split
+	// (default 1e-7).
+	MinGain float64
+}
+
+func (o *Options) fill() {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 12
+	}
+	if o.MinLeaf <= 0 {
+		o.MinLeaf = 5
+	}
+	if o.MinGain <= 0 {
+		o.MinGain = 1e-7
+	}
+}
+
+// node is one tree node: either a leaf with a class, or an internal node
+// with an axis-aligned threshold split.
+type node struct {
+	// leaf payload
+	isLeaf bool
+	class  int
+	// internal payload
+	attr        int
+	threshold   float64
+	left, right *node
+}
+
+// Classifier is a fitted decision tree.
+type Classifier struct {
+	root       *node
+	dim        int
+	numClasses int
+	nodes      int
+	depth      int
+}
+
+// Train fits a decision tree on a classification data set with greedy
+// Gini-minimizing axis-aligned splits.
+func Train(train *dataset.Dataset, opts Options) (*Classifier, error) {
+	if train.Task != dataset.Classification {
+		return nil, fmt.Errorf("tree: needs a classification data set, got %v", train.Task)
+	}
+	if err := train.Validate(); err != nil {
+		return nil, fmt.Errorf("tree: training data: %w", err)
+	}
+	if train.Len() == 0 {
+		return nil, errors.New("tree: empty training data")
+	}
+	opts.fill()
+	c := &Classifier{dim: train.Dim(), numClasses: train.NumClasses()}
+	idx := make([]int, train.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	c.root = c.build(train, idx, 0, opts)
+	return c, nil
+}
+
+// build grows the subtree over the given record indices.
+func (c *Classifier) build(ds *dataset.Dataset, idx []int, depth int, opts Options) *node {
+	c.nodes++
+	if depth > c.depth {
+		c.depth = depth
+	}
+	counts := make([]int, c.numClasses)
+	for _, i := range idx {
+		counts[ds.Labels[i]]++
+	}
+	majority, best := 0, -1
+	pure := true
+	for cl, n := range counts {
+		if n > best {
+			majority, best = cl, n
+		}
+		if n > 0 && n != len(idx) {
+			pure = false
+		}
+	}
+	if pure || depth >= opts.MaxDepth || len(idx) < 2*opts.MinLeaf {
+		return &node{isLeaf: true, class: majority}
+	}
+
+	attr, threshold, gain := bestSplit(ds, idx, counts, opts.MinLeaf)
+	if attr < 0 || gain < opts.MinGain {
+		return &node{isLeaf: true, class: majority}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if ds.X[i][attr] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return &node{isLeaf: true, class: majority}
+	}
+	return &node{
+		attr:      attr,
+		threshold: threshold,
+		left:      c.build(ds, left, depth+1, opts),
+		right:     c.build(ds, right, depth+1, opts),
+	}
+}
+
+// bestSplit scans every attribute for the threshold minimizing the
+// weighted child Gini impurity. It returns attr = −1 when no valid split
+// exists.
+func bestSplit(ds *dataset.Dataset, idx []int, parentCounts []int, minLeaf int) (attr int, threshold, gain float64) {
+	n := float64(len(idx))
+	parentGini := gini(parentCounts, len(idx))
+	attr = -1
+
+	numClasses := len(parentCounts)
+	order := make([]int, len(idx))
+	leftCounts := make([]int, numClasses)
+	rightCounts := make([]int, numClasses)
+	for a := 0; a < ds.Dim(); a++ {
+		copy(order, idx)
+		sort.Slice(order, func(x, y int) bool { return ds.X[order[x]][a] < ds.X[order[y]][a] })
+		for i := range leftCounts {
+			leftCounts[i] = 0
+			rightCounts[i] = parentCounts[i]
+		}
+		for pos := 0; pos < len(order)-1; pos++ {
+			label := ds.Labels[order[pos]]
+			leftCounts[label]++
+			rightCounts[label]--
+			v, next := ds.X[order[pos]][a], ds.X[order[pos+1]][a]
+			if v == next {
+				continue // cannot split between equal values
+			}
+			nLeft := pos + 1
+			nRight := len(order) - nLeft
+			if nLeft < minLeaf || nRight < minLeaf {
+				continue
+			}
+			g := (float64(nLeft)*gini(leftCounts, nLeft) + float64(nRight)*gini(rightCounts, nRight)) / n
+			if improvement := parentGini - g; improvement > gain {
+				attr, threshold, gain = a, (v+next)/2, improvement
+			}
+		}
+	}
+	return attr, threshold, gain
+}
+
+// gini returns the Gini impurity of a class count vector over n records.
+func gini(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	var sumSq float64
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		sumSq += p * p
+	}
+	return 1 - sumSq
+}
+
+// Predict returns the class of x.
+func (c *Classifier) Predict(x mat.Vector) (int, error) {
+	if len(x) != c.dim {
+		return 0, fmt.Errorf("tree: query dimension %d, want %d", len(x), c.dim)
+	}
+	if !x.IsFinite() {
+		return 0, errors.New("tree: query has non-finite values")
+	}
+	nd := c.root
+	for !nd.isLeaf {
+		if x[nd.attr] <= nd.threshold {
+			nd = nd.left
+		} else {
+			nd = nd.right
+		}
+	}
+	return nd.class, nil
+}
+
+// PredictAll classifies every record of a data set, in order.
+func (c *Classifier) PredictAll(test *dataset.Dataset) ([]int, error) {
+	out := make([]int, test.Len())
+	for i, x := range test.X {
+		l, err := c.Predict(x)
+		if err != nil {
+			return nil, fmt.Errorf("tree: record %d: %w", i, err)
+		}
+		out[i] = l
+	}
+	return out, nil
+}
+
+// Nodes returns the total node count of the fitted tree.
+func (c *Classifier) Nodes() int { return c.nodes }
+
+// Depth returns the depth of the fitted tree (root = depth 0).
+func (c *Classifier) Depth() int { return c.depth }
+
+// String renders the tree structure for debugging.
+func (c *Classifier) String() string {
+	var sb strings.Builder
+	var walk func(nd *node, indent int)
+	walk = func(nd *node, indent int) {
+		pad := strings.Repeat("  ", indent)
+		if nd.isLeaf {
+			fmt.Fprintf(&sb, "%sleaf class=%d\n", pad, nd.class)
+			return
+		}
+		fmt.Fprintf(&sb, "%sx[%d] <= %.6g\n", pad, nd.attr, nd.threshold)
+		walk(nd.left, indent+1)
+		walk(nd.right, indent+1)
+	}
+	walk(c.root, 0)
+	return sb.String()
+}
+
+// Accuracy is a convenience scorer.
+func (c *Classifier) Accuracy(test *dataset.Dataset) (float64, error) {
+	preds, err := c.PredictAll(test)
+	if err != nil {
+		return 0, err
+	}
+	if len(preds) == 0 {
+		return 0, errors.New("tree: empty test data")
+	}
+	correct := 0
+	for i, p := range preds {
+		if p == test.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(preds)), nil
+}

@@ -1,0 +1,231 @@
+package tree
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"condensation/internal/datagen"
+	"condensation/internal/dataset"
+	"condensation/internal/mat"
+	"condensation/internal/rng"
+)
+
+func separable(seed uint64, perClass int) *dataset.Dataset {
+	r := rng.New(seed)
+	ds := &dataset.Dataset{
+		Task:       dataset.Classification,
+		Attrs:      []string{"x", "y"},
+		ClassNames: []string{"a", "b"},
+	}
+	for i := 0; i < perClass; i++ {
+		ds.X = append(ds.X, mat.Vector{r.Norm(), r.Norm()})
+		ds.Labels = append(ds.Labels, 0)
+		ds.X = append(ds.X, mat.Vector{6 + r.Norm(), 6 + r.Norm()})
+		ds.Labels = append(ds.Labels, 1)
+	}
+	return ds
+}
+
+// xorData is the classic problem a single split cannot solve but a depth-2
+// tree can: class = (x > 0) XOR (y > 0).
+func xorData(seed uint64, n int) *dataset.Dataset {
+	r := rng.New(seed)
+	ds := &dataset.Dataset{Task: dataset.Classification, Attrs: []string{"x", "y"}}
+	for i := 0; i < n; i++ {
+		x, y := r.Uniform(-1, 1), r.Uniform(-1, 1)
+		label := 0
+		if (x > 0) != (y > 0) {
+			label = 1
+		}
+		ds.X = append(ds.X, mat.Vector{x, y})
+		ds.Labels = append(ds.Labels, label)
+	}
+	return ds
+}
+
+func TestTrainSeparable(t *testing.T) {
+	train := separable(1, 100)
+	test := separable(2, 30)
+	c, err := Train(train, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := c.Accuracy(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.99 {
+		t.Errorf("accuracy %g on separable data", acc)
+	}
+}
+
+func TestTrainXOR(t *testing.T) {
+	train := xorData(3, 500)
+	test := xorData(4, 200)
+	c, err := Train(train, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := c.Accuracy(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("accuracy %g on XOR data, want ≥ 0.9 (needs depth ≥ 2)", acc)
+	}
+	if c.Depth() < 2 {
+		t.Errorf("Depth = %d, want ≥ 2 for XOR", c.Depth())
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	train := xorData(5, 300)
+	c, err := Train(train, Options{MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Depth() > 1 {
+		t.Errorf("Depth = %d with MaxDepth 1", c.Depth())
+	}
+}
+
+func TestMinLeafLimitsNodes(t *testing.T) {
+	train := xorData(6, 300)
+	small, err := Train(train, Options{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Train(train, Options{MinLeaf: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Nodes() >= small.Nodes() {
+		t.Errorf("MinLeaf=50 produced %d nodes, MinLeaf=1 produced %d", big.Nodes(), small.Nodes())
+	}
+}
+
+func TestPureDataIsSingleLeaf(t *testing.T) {
+	ds := &dataset.Dataset{
+		Task:   dataset.Classification,
+		X:      []mat.Vector{{1}, {2}, {3}},
+		Labels: []int{1, 1, 1},
+	}
+	c, err := Train(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes() != 1 || c.Depth() != 0 {
+		t.Errorf("pure data: %d nodes, depth %d", c.Nodes(), c.Depth())
+	}
+	got, err := c.Predict(mat.Vector{99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("Predict = %d", got)
+	}
+}
+
+func TestConstantAttributesNoSplit(t *testing.T) {
+	ds := &dataset.Dataset{
+		Task:   dataset.Classification,
+		X:      []mat.Vector{{1, 1}, {1, 1}, {1, 1}, {1, 1}},
+		Labels: []int{0, 1, 0, 1},
+	}
+	c, err := Train(ds, Options{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes() != 1 {
+		t.Errorf("constant attributes produced %d nodes", c.Nodes())
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	reg := &dataset.Dataset{Task: dataset.Regression, X: []mat.Vector{{1}}, Targets: []float64{1}}
+	if _, err := Train(reg, Options{}); err == nil {
+		t.Error("regression data accepted")
+	}
+	empty := &dataset.Dataset{Task: dataset.Classification}
+	if _, err := Train(empty, Options{}); err == nil {
+		t.Error("empty data accepted")
+	}
+	bad := separable(7, 3)
+	bad.Labels = bad.Labels[:2]
+	if _, err := Train(bad, Options{}); err == nil {
+		t.Error("invalid data accepted")
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	c, err := Train(separable(8, 20), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Predict(mat.Vector{1}); err == nil {
+		t.Error("wrong dimension accepted")
+	}
+	if _, err := c.Predict(mat.Vector{1, math.NaN()}); err == nil {
+		t.Error("NaN query accepted")
+	}
+}
+
+func TestString(t *testing.T) {
+	c, err := Train(separable(9, 30), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.String()
+	if !strings.Contains(s, "leaf") {
+		t.Errorf("String missing leaves:\n%s", s)
+	}
+}
+
+func TestPredictAll(t *testing.T) {
+	train := separable(10, 50)
+	c, err := Train(train, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := c.PredictAll(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != train.Len() {
+		t.Fatalf("%d predictions", len(preds))
+	}
+}
+
+// The core integration claim: an unmodified decision tree trained on the
+// synthetic Pima data performs well above the majority baseline, so the
+// condensation experiments on trees are meaningful.
+func TestTreeOnPima(t *testing.T) {
+	ds := datagen.Pima(11)
+	train, test, err := ds.TrainTestSplit(0.75, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Train(train, Options{MaxDepth: 6, MinLeaf: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := c.Accuracy(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.7 {
+		t.Errorf("Pima tree accuracy %g, want ≥ 0.7", acc)
+	}
+}
+
+func TestAccuracyEmptyTest(t *testing.T) {
+	c, err := Train(separable(13, 10), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := &dataset.Dataset{Task: dataset.Classification}
+	if _, err := c.Accuracy(empty); err == nil {
+		t.Error("empty test accepted")
+	}
+}
