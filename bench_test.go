@@ -209,6 +209,29 @@ func BenchmarkCoreStaticCondense(b *testing.B) {
 	}
 }
 
+// BenchmarkCoreStaticSearch compares the neighbour-search backends behind
+// the Condenser facade on identical inputs; the sub-benchmark names make
+// the scan-sort → quickselect/kd-tree speedup visible in benchstat diffs.
+func BenchmarkCoreStaticSearch(b *testing.B) {
+	ds := datagen.Pima(7)
+	for _, search := range []core.NeighborSearch{
+		core.SearchScanSort, core.SearchQuickselect, core.SearchKDTree,
+	} {
+		b.Run(search.String(), func(b *testing.B) {
+			c, err := core.NewCondenser(25, core.WithSeed(1), core.WithNeighborSearch(search))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Static(ds.X); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkCoreDynamicAdd(b *testing.B) {
 	ds := datagen.Abalone(7)
 	joint := make([]mat.Vector, len(ds.X))
@@ -306,6 +329,30 @@ func BenchmarkExtensionNaiveBayes(b *testing.B) {
 	}
 	logTable(b, table)
 	reportLastRow(b, table)
+}
+
+// BenchmarkScalingCondense isolates the condensation step at the scaling
+// study's largest data-set size (n=2000; the figure-level
+// BenchmarkScalingDatasetSize is dominated by the k-NN evaluation, which
+// the neighbour-search backends do not touch).
+func BenchmarkScalingCondense(b *testing.B) {
+	ds := datagen.TwoGaussians(7, 1000, 6, 4)
+	for _, search := range []core.NeighborSearch{
+		core.SearchScanSort, core.SearchQuickselect, core.SearchKDTree,
+	} {
+		b.Run(search.String(), func(b *testing.B) {
+			c, err := core.NewCondenser(20, core.WithSeed(1), core.WithNeighborSearch(search))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Static(ds.X); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkScalingDatasetSize(b *testing.B) {

@@ -18,6 +18,8 @@
 //	-synthesis string  "uniform" (paper) or "gaussian" (default uniform)
 //	-seed uint      random seed (default 1)
 //	-initial float  dynamic mode: initial static fraction (default 0.25)
+//	-search string  neighbour search: auto, scan-sort, quickselect, kdtree
+//	-par int        static distance-sweep parallelism (0 = all CPUs)
 package main
 
 import (
@@ -28,7 +30,6 @@ import (
 
 	"condensation/internal/core"
 	"condensation/internal/dataset"
-	"condensation/internal/rng"
 )
 
 func main() {
@@ -50,6 +51,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		synthesis = fs.String("synthesis", "uniform", "synthesis distribution: uniform or gaussian")
 		seed      = fs.Uint64("seed", 1, "random seed")
 		initial   = fs.Float64("initial", 0.25, "dynamic mode: fraction condensed statically up front")
+		search    = fs.String("search", "auto", "static neighbour search: auto, scan-sort, quickselect, or kdtree")
+		par       = fs.Int("par", 0, "static distance-sweep parallelism (0 = all CPUs)")
 		stats     = fs.String("stats", "", "optional file to write the per-class condensation statistics (the paper's H sets) to")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -70,22 +73,37 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown -task %q", *task)
 	}
 
-	cfg := core.AnonymizeConfig{K: *k, InitialFraction: *initial}
+	var condenseMode core.Mode
 	switch *mode {
 	case "static":
-		cfg.Mode = core.ModeStatic
+		condenseMode = core.ModeStatic
 	case "dynamic":
-		cfg.Mode = core.ModeDynamic
+		condenseMode = core.ModeDynamic
 	default:
 		return fmt.Errorf("unknown -mode %q", *mode)
 	}
+	var synthMode core.Synthesis
 	switch *synthesis {
 	case "uniform":
-		cfg.Options.Synthesis = core.SynthesisUniform
+		synthMode = core.SynthesisUniform
 	case "gaussian":
-		cfg.Options.Synthesis = core.SynthesisGaussian
+		synthMode = core.SynthesisGaussian
 	default:
 		return fmt.Errorf("unknown -synthesis %q", *synthesis)
+	}
+	searchBackend, err := core.ParseNeighborSearch(*search)
+	if err != nil {
+		return err
+	}
+	condenser, err := core.NewCondenser(*k,
+		core.WithSeed(*seed),
+		core.WithMode(condenseMode),
+		core.WithSynthesis(synthMode),
+		core.WithInitialFraction(*initial),
+		core.WithNeighborSearch(searchBackend),
+		core.WithParallelism(*par))
+	if err != nil {
+		return err
 	}
 
 	reader := stdin
@@ -102,7 +120,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	anon, report, err := core.Anonymize(ds, cfg, rng.New(*seed))
+	anon, report, err := condenser.Anonymize(ds)
 	if err != nil {
 		return err
 	}
@@ -140,7 +158,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 
 	fmt.Fprintf(stderr, "condensed %d records into %d groups (avg size %.1f, mode %s, k=%d)\n",
-		report.TotalRecords(), report.TotalGroups(), report.AvgGroupSize(), cfg.Mode, *k)
+		report.TotalRecords(), report.TotalGroups(), report.AvgGroupSize(), condenseMode, *k)
 	for _, cr := range report.Classes {
 		label := fmt.Sprintf("class %d", cr.Label)
 		if cr.Label < 0 {

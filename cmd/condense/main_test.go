@@ -8,8 +8,8 @@ import (
 	"testing"
 
 	"condensation/internal/core"
-	"condensation/internal/dataset"
 	"condensation/internal/datagen"
+	"condensation/internal/dataset"
 )
 
 // writeInput writes a small classification CSV and returns its path.

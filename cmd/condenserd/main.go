@@ -55,7 +55,8 @@ func run(args []string, stderr io.Writer, serve func(addr string, h http.Handler
 		return err
 	}
 
-	cfg := server.Config{Dim: *dim, K: *k, Seed: *seed, MaxBatch: *batch}
+	cfg := server.Config{Dim: *dim, MaxBatch: *batch}
+	condenserK, condenserOpts := *k, core.Options{}
 	if *resume != "" {
 		f, err := os.Open(*resume)
 		if err != nil {
@@ -67,12 +68,20 @@ func run(args []string, stderr io.Writer, serve func(addr string, h http.Handler
 			return fmt.Errorf("restoring %s: %w", *resume, err)
 		}
 		cfg.Initial = cond
+		// The checkpoint's k and options are authoritative when resuming.
+		condenserK, condenserOpts = cond.K(), cond.Options()
 		fmt.Fprintf(stderr, "restored %d records in %d groups (k=%d, dim=%d) from %s\n",
 			cond.TotalCount(), cond.NumGroups(), cond.K(), cond.Dim(), *resume)
 	} else if *dim < 1 {
 		fs.Usage()
 		return fmt.Errorf("-dim is required when not resuming from a checkpoint")
 	}
+	condenser, err := core.NewCondenser(condenserK,
+		core.WithSeed(*seed), core.WithOptions(condenserOpts))
+	if err != nil {
+		return err
+	}
+	cfg.Condenser = condenser
 
 	s, err := server.New(cfg)
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"condensation/internal/core"
 	"condensation/internal/datagen"
 	"condensation/internal/experiments"
 )
@@ -45,6 +46,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		format  = fs.String("format", "text", "output format: text or csv")
 		knnK    = fs.Int("knn", 1, "nearest-neighbour classifier k")
 		initial = fs.Float64("initial", 0.25, "dynamic mode: initial static fraction")
+		search  = fs.String("search", "auto", "static neighbour search: auto, scan-sort, quickselect, or kdtree")
+		par     = fs.Int("par", 0, "static distance-sweep parallelism (0 = all CPUs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,12 +56,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("exactly one of -fig or -study is required")
 	}
+	searchBackend, err := core.ParseNeighborSearch(*search)
+	if err != nil {
+		return err
+	}
 
 	cfg := experiments.Config{
 		Seed:            *seed,
 		Repetitions:     *reps,
 		ClassifierK:     *knnK,
 		InitialFraction: *initial,
+		Search:          searchBackend,
+		Parallelism:     *par,
 	}
 	if *sizes != "" {
 		parsed, err := parseSizes(*sizes)

@@ -59,13 +59,13 @@ func TestRunPerturbationStudy(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
-		{},                                   // neither -fig nor -study
-		{"-fig", "5a", "-study", "attack"},   // both
-		{"-fig", "99z"},                      // unknown figure
-		{"-study", "bogus"},                  // unknown study
+		{},                                 // neither -fig nor -study
+		{"-fig", "5a", "-study", "attack"}, // both
+		{"-fig", "99z"},                    // unknown figure
+		{"-study", "bogus"},                // unknown study
 		{"-study", "attack", "-dataset", "bogus"},
-		{"-fig", "6b", "-sizes", "zero"},     // bad sizes
-		{"-fig", "6b", "-sizes", "-3"},       // negative size
+		{"-fig", "6b", "-sizes", "zero"}, // bad sizes
+		{"-fig", "6b", "-sizes", "-3"},   // negative size
 		{"-fig", "6b", "-sizes", "5", "-reps", "1", "-format", "bogus"},
 	}
 	for _, args := range cases {

@@ -39,10 +39,11 @@ func main() {
 
 	// Anonymized at increasing privacy levels.
 	for _, k := range []int{5, 15, 30, 50} {
-		anon, report, err := core.Anonymize(train, core.AnonymizeConfig{
-			K:    k,
-			Mode: core.ModeStatic,
-		}, r.Split())
+		condenser, err := core.NewCondenser(k, core.WithRandomSource(r.Split()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		anon, report, err := condenser.Anonymize(train)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -28,7 +28,11 @@ func main() {
 	fmt.Printf("original:   inertia %.2f after %d iterations\n", origRes.Inertia, origRes.Iterations)
 
 	for _, k := range []int{5, 15, 30} {
-		anon, _, err := core.Anonymize(ds, core.AnonymizeConfig{K: k, Mode: core.ModeStatic}, r.Split())
+		condenser, err := core.NewCondenser(k, core.WithRandomSource(r.Split()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		anon, _, err := condenser.Anonymize(ds)
 		if err != nil {
 			log.Fatal(err)
 		}

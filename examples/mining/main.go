@@ -27,7 +27,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	anon, _, err := core.Anonymize(train, core.AnonymizeConfig{K: 15, Mode: core.ModeStatic}, r.Split())
+	condenser, err := core.NewCondenser(15, core.WithRandomSource(r.Split()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	anon, _, err := condenser.Anonymize(train)
 	if err != nil {
 		log.Fatal(err)
 	}

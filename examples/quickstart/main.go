@@ -30,7 +30,11 @@ func main() {
 	// Condense with indistinguishability level k = 20: every record
 	// becomes statistically indistinguishable from at least 19 others.
 	const k = 20
-	cond, err := core.Static(records, k, r.Split(), core.Options{})
+	condenser, err := core.NewCondenser(k, core.WithRandomSource(r.Split()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cond, err := condenser.Static(records)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -22,7 +22,11 @@ import (
 )
 
 func main() {
-	srv, err := server.New(server.Config{Dim: 7, K: 20, Seed: 5})
+	condenser, err := core.NewCondenser(20, core.WithSeed(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Dim: 7, Condenser: condenser})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -28,13 +28,17 @@ func main() {
 	initial := ds.X[:500]
 	arriving := stream.Shuffled(ds.X[500:], r.Split())
 
-	base, err := core.Static(initial, k, r.Split(), core.Options{})
+	condenser, err := core.NewCondenser(k, core.WithRandomSource(r.Split()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := condenser.Static(initial)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("initial database: %d records in %d groups\n", base.TotalCount(), base.NumGroups())
 
-	dyn, err := core.NewDynamic(base, r.Split())
+	dyn, err := condenser.DynamicFrom(base)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -45,6 +45,13 @@ type AnonymizeConfig struct {
 	// Values outside (0, 1] fall back to the default 0.25. Ignored for
 	// static mode.
 	InitialFraction float64
+	// Search selects the static neighbour-search backend (default
+	// SearchAuto). It changes speed, never the condensed statistics (up to
+	// distance ties).
+	Search NeighborSearch
+	// Parallelism bounds the static distance sweep's worker goroutines;
+	// values < 1 mean runtime.NumCPU().
+	Parallelism int
 }
 
 // ClassReport describes the condensation of one class (or of the whole
@@ -111,6 +118,9 @@ func (r *Report) AvgGroupSize() float64 {
 // and condensed jointly with the features, so the synthesized data
 // preserves feature–target correlations; the extra attribute is split
 // back off into the synthesized targets.
+//
+// Deprecated: use the Condenser facade — NewCondenser(k, WithSeed(s),
+// WithMode(m), ...).Anonymize(ds).
 func Anonymize(ds *dataset.Dataset, cfg AnonymizeConfig, r *rng.Source) (*dataset.Dataset, *Report, error) {
 	if r == nil {
 		return nil, nil, errors.New("core: nil random source")
@@ -205,9 +215,11 @@ func anonymizeRegression(ds *dataset.Dataset, cfg AnonymizeConfig, r *rng.Source
 // condenseRecords runs the configured construction regime on one record
 // set.
 func condenseRecords(recs []mat.Vector, cfg AnonymizeConfig, r *rng.Source) (*Condensation, error) {
+	search := searchConfig{Search: cfg.Search, Parallelism: cfg.Parallelism}
 	switch cfg.Mode {
 	case ModeStatic:
-		return Static(recs, cfg.K, r, cfg.Options)
+		cond, _, err := staticCondense(recs, cfg.K, r, cfg.Options, search)
+		return cond, err
 	case ModeDynamic:
 		frac := cfg.InitialFraction
 		if frac <= 0 || frac > 1 {
@@ -222,7 +234,7 @@ func condenseRecords(recs []mat.Vector, cfg AnonymizeConfig, r *rng.Source) (*Co
 		if initial > len(recs) {
 			initial = len(recs)
 		}
-		base, err := Static(recs[:initial], cfg.K, r, cfg.Options)
+		base, _, err := staticCondense(recs[:initial], cfg.K, r, cfg.Options, search)
 		if err != nil {
 			return nil, err
 		}

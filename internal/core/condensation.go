@@ -31,6 +31,9 @@ func (c *Condensation) Dim() int { return c.dim }
 // K returns the indistinguishability level the condensation was built with.
 func (c *Condensation) K() int { return c.k }
 
+// Options returns the options the condensation was built with.
+func (c *Condensation) Options() Options { return c.opts }
+
 // NumGroups returns the number of condensed groups.
 func (c *Condensation) NumGroups() int { return len(c.groups) }
 

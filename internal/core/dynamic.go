@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -147,7 +148,18 @@ func (d *Dynamic) Add(x mat.Vector) error {
 
 // AddAll streams a batch of records through Add.
 func (d *Dynamic) AddAll(records []mat.Vector) error {
+	return d.AddAllContext(context.Background(), records)
+}
+
+// AddAllContext is AddAll with cancellation: between records it checks the
+// context and stops with the context's error once it is done. Records
+// admitted before cancellation stay condensed — the structure remains
+// valid, the remainder of the batch is simply not ingested.
+func (d *Dynamic) AddAllContext(ctx context.Context, records []mat.Vector) error {
 	for i, x := range records {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: stream cancelled at record %d: %w", i, err)
+		}
 		if err := d.Add(x); err != nil {
 			return fmt.Errorf("core: stream record %d: %w", i, err)
 		}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"condensation/internal/mat"
+)
+
+// NeighborSearch selects how the static construction finds the k−1 nearest
+// not-yet-grouped records for each sampled seed. All backends are exact:
+// with distinct pairwise distances they form identical groups; ties are
+// broken by ascending record index in every backend except SearchScanSort,
+// whose tie order is whatever the sort happens to produce.
+type NeighborSearch int
+
+const (
+	// SearchAuto picks automatically: the quickselect scan, with the
+	// distance sweep parallelized for large remaining sets. This is the
+	// default and the fastest portable choice.
+	SearchAuto NeighborSearch = iota
+	// SearchScanSort is the original reference implementation: a full
+	// distance scan followed by a full sort per group, O(n log n) per group
+	// (O(n² log n) overall). Kept for cross-checking the fast paths.
+	SearchScanSort
+	// SearchQuickselect scans distances but partially selects the k
+	// smallest instead of sorting all of them, O(n) expected per group.
+	SearchQuickselect
+	// SearchKDTree answers each group's neighbour query from a KD-tree
+	// with tombstone deletion and periodic rebuild — ~O(log n) expected
+	// per query in low dimension, at the cost of tree maintenance.
+	SearchKDTree
+)
+
+// String returns the search-backend name.
+func (s NeighborSearch) String() string {
+	switch s {
+	case SearchAuto:
+		return "auto"
+	case SearchScanSort:
+		return "scan-sort"
+	case SearchQuickselect:
+		return "quickselect"
+	case SearchKDTree:
+		return "kdtree"
+	default:
+		return fmt.Sprintf("NeighborSearch(%d)", int(s))
+	}
+}
+
+// ParseNeighborSearch converts a backend name (as printed by String) back
+// to the enum, for command-line flags.
+func ParseNeighborSearch(name string) (NeighborSearch, error) {
+	switch name {
+	case "auto":
+		return SearchAuto, nil
+	case "scan-sort":
+		return SearchScanSort, nil
+	case "quickselect":
+		return SearchQuickselect, nil
+	case "kdtree":
+		return SearchKDTree, nil
+	default:
+		return 0, fmt.Errorf("core: unknown neighbour search %q", name)
+	}
+}
+
+func (s NeighborSearch) validate() error {
+	switch s {
+	case SearchAuto, SearchScanSort, SearchQuickselect, SearchKDTree:
+		return nil
+	default:
+		return fmt.Errorf("core: unknown neighbour search %d", int(s))
+	}
+}
+
+// searchConfig carries the performance knobs of the static construction.
+// They deliberately live outside Options: they never change the condensed
+// statistics (up to distance ties), only how fast they are computed, so
+// they are not part of the persisted condensation state.
+type searchConfig struct {
+	// Search selects the neighbour-search backend (default SearchAuto).
+	Search NeighborSearch
+	// Parallelism bounds the worker goroutines of the distance sweep;
+	// values < 1 mean runtime.NumCPU().
+	Parallelism int
+}
+
+func (c searchConfig) validate() error {
+	return c.Search.validate()
+}
+
+// workers resolves the effective worker count.
+func (c searchConfig) workers() int {
+	if c.Parallelism < 1 {
+		return runtime.NumCPU()
+	}
+	return c.Parallelism
+}
+
+// parallelSweepCutoff is the remaining-set size below which the distance
+// sweep stays single-threaded: under ~8k distances the goroutine fan-out
+// costs more than it saves.
+const parallelSweepCutoff = 8192
+
+// sweepDistances fills dist[i] with the squared distance from seed to
+// records[alive[i]], chunked across at most `workers` goroutines when the
+// sweep is large enough to amortize the fan-out. Each worker writes a
+// disjoint range, so the result is identical to the serial sweep.
+func sweepDistances(dist []float64, seed mat.Vector, records []mat.Vector, alive []int, workers int) {
+	n := len(alive)
+	if workers <= 1 || n < parallelSweepCutoff {
+		for i, idx := range alive {
+			dist[i] = seed.DistSq(records[idx])
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				dist[i] = seed.DistSq(records[alive[i]])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// selectNearest arranges order so that its first k entries are the k
+// positions with the smallest (dist, alive index) keys, in ascending
+// order. order must hold a permutation of [0, len(dist)) on entry.
+//
+// It quickselects with deterministic median-of-three pivots — expected
+// O(n) with no randomness drawn, so it never perturbs the caller's rng
+// stream — then sorts only the selected k entries.
+func selectNearest(order []int, dist []float64, alive []int, k int) {
+	if k < len(order) {
+		quickselect(order, dist, alive, k)
+	}
+	top := order[:k]
+	sort.Slice(top, func(a, b int) bool {
+		return lessByDist(dist, alive, top[a], top[b])
+	})
+}
+
+// lessByDist orders positions by squared distance, breaking ties by the
+// record index so every backend agrees on a deterministic order.
+func lessByDist(dist []float64, alive []int, a, b int) bool {
+	if dist[a] != dist[b] {
+		return dist[a] < dist[b]
+	}
+	return alive[a] < alive[b]
+}
+
+// quickselect partitions order so order[:k] holds the k smallest entries
+// (in arbitrary order) under lessByDist.
+func quickselect(order []int, dist []float64, alive []int, k int) {
+	lo, hi := 0, len(order)-1
+	for lo < hi {
+		p := partition(order, dist, alive, lo, hi)
+		switch {
+		case p == k-1:
+			return
+		case p < k-1:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+}
+
+// partition performs a Lomuto partition of order[lo..hi] around a
+// median-of-three pivot and returns the pivot's final position.
+func partition(order []int, dist []float64, alive []int, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	// Sort (lo, mid, hi) so the median lands at mid, then stash it at hi.
+	if lessByDist(dist, alive, order[mid], order[lo]) {
+		order[lo], order[mid] = order[mid], order[lo]
+	}
+	if lessByDist(dist, alive, order[hi], order[lo]) {
+		order[lo], order[hi] = order[hi], order[lo]
+	}
+	if lessByDist(dist, alive, order[hi], order[mid]) {
+		order[mid], order[hi] = order[hi], order[mid]
+	}
+	order[mid], order[hi] = order[hi], order[mid]
+	pivot := order[hi]
+	i := lo
+	for j := lo; j < hi; j++ {
+		if lessByDist(dist, alive, order[j], pivot) {
+			order[i], order[j] = order[j], order[i]
+			i++
+		}
+	}
+	order[i], order[hi] = order[hi], order[i]
+	return i
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"condensation/internal/knn"
 	"condensation/internal/mat"
 	"condensation/internal/rng"
 	"condensation/internal/stats"
@@ -21,8 +22,12 @@ import (
 // record, in which case synthesis reproduces each record exactly — the
 // paper's group-size-1 anchor where static condensation equals the
 // original data.
+//
+// Deprecated: use the Condenser facade — NewCondenser(k, WithSeed(s),
+// ...).Static(records) — which also exposes the neighbour-search backend
+// and the parallelism of the distance sweep.
 func Static(records []mat.Vector, k int, r *rng.Source, opts Options) (*Condensation, error) {
-	cond, _, err := StaticWithMembers(records, k, r, opts)
+	cond, _, err := staticCondense(records, k, r, opts, searchConfig{})
 	return cond, err
 }
 
@@ -31,8 +36,22 @@ func Static(records []mat.Vector, k int, r *rng.Source, opts Options) (*Condensa
 // group g. The membership map is exactly what a condensation deployment
 // must *not* publish; it is exposed for privacy evaluation (re-
 // identification attacks need the ground truth) and for tests.
+//
+// Deprecated: use NewCondenser(k, ...).StaticWithMembers(records).
 func StaticWithMembers(records []mat.Vector, k int, r *rng.Source, opts Options) (*Condensation, [][]int, error) {
+	return staticCondense(records, k, r, opts, searchConfig{})
+}
+
+// staticCondense is the engine behind Static and Condenser.Static. Per
+// group it draws exactly one value from r (the seed-record sample), so
+// every search backend consumes the identical rng stream; with distinct
+// pairwise distances all backends therefore produce identical groups, with
+// members added in ascending-distance order.
+func staticCondense(records []mat.Vector, k int, r *rng.Source, opts Options, cfg searchConfig) (*Condensation, [][]int, error) {
 	if err := opts.validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := cfg.validate(); err != nil {
 		return nil, nil, err
 	}
 	if k < 1 {
@@ -71,58 +90,33 @@ func StaticWithMembers(records []mat.Vector, k int, r *rng.Source, opts Options)
 		return newCondensation(dim, k, opts, groups), members, nil
 	}
 
-	// alive holds indices of records not yet assigned to a group. Removal
-	// is swap-delete, so order is not preserved — grouping is randomized by
-	// the sampling step anyway.
-	alive := make([]int, len(records))
-	for i := range alive {
-		alive[i] = i
+	search, err := newNeighborSearcher(records, cfg)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	var groups []*stats.Group
 	var members [][]int
-	distSq := make([]float64, 0, len(records))
-	for len(alive) >= k {
-		// Randomly sample a data point X from D.
-		pick := r.IntN(len(alive))
-		seed := records[alive[pick]]
-
-		// Find the k−1 closest remaining records to X.
-		distSq = distSq[:0]
-		for _, idx := range alive {
-			distSq = append(distSq, seed.DistSq(records[idx]))
+	for search.remaining() >= k {
+		// Randomly sample a data point X from D, then pull X and its k−1
+		// closest remaining records out of the alive set.
+		pick := r.IntN(search.remaining())
+		group, err := search.takeGroup(pick, k)
+		if err != nil {
+			return nil, nil, err
 		}
-		// Order alive positions by distance to the seed; position `pick`
-		// has distance 0 and is therefore selected first.
-		order := make([]int, len(alive))
-		for i := range order {
-			order[i] = i
-		}
-		sort.Slice(order, func(a, b int) bool { return distSq[order[a]] < distSq[order[b]] })
-
 		g := stats.NewGroup(dim)
-		var member []int
-		for _, pos := range order[:k] {
-			if err := g.Add(records[alive[pos]]); err != nil {
+		for _, idx := range group {
+			if err := g.Add(records[idx]); err != nil {
 				return nil, nil, fmt.Errorf("core: adding record to group: %w", err)
 			}
-			member = append(member, alive[pos])
 		}
 		groups = append(groups, g)
-		members = append(members, member)
-
-		// Delete the k chosen records from the alive set (descending
-		// positions so swap-delete does not disturb pending positions).
-		chosen := append([]int(nil), order[:k]...)
-		sort.Sort(sort.Reverse(sort.IntSlice(chosen)))
-		for _, pos := range chosen {
-			alive[pos] = alive[len(alive)-1]
-			alive = alive[:len(alive)-1]
-		}
+		members = append(members, group)
 	}
 
 	// Handle the final < k leftover records.
-	if len(alive) > 0 {
+	if leftover := search.leftover(); len(leftover) > 0 {
 		switch opts.Leftover {
 		case LeftoverNearestGroup:
 			if len(groups) == 0 {
@@ -130,13 +124,13 @@ func StaticWithMembers(records []mat.Vector, k int, r *rng.Source, opts Options)
 				// is a single undersized group (the caller asked for an
 				// indistinguishability level the data cannot support).
 				g := stats.NewGroup(dim)
-				for _, idx := range alive {
+				for _, idx := range leftover {
 					if err := g.Add(records[idx]); err != nil {
 						return nil, nil, err
 					}
 				}
 				groups = append(groups, g)
-				members = append(members, append([]int(nil), alive...))
+				members = append(members, leftover)
 				break
 			}
 			centroids := make([]mat.Vector, len(groups))
@@ -147,7 +141,7 @@ func StaticWithMembers(records []mat.Vector, k int, r *rng.Source, opts Options)
 				}
 				centroids[i] = m
 			}
-			for _, idx := range alive {
+			for _, idx := range leftover {
 				best, bestD := 0, records[idx].DistSq(centroids[0])
 				for gi := 1; gi < len(centroids); gi++ {
 					if d := records[idx].DistSq(centroids[gi]); d < bestD {
@@ -161,15 +155,172 @@ func StaticWithMembers(records []mat.Vector, k int, r *rng.Source, opts Options)
 			}
 		case LeftoverOwnGroup:
 			g := stats.NewGroup(dim)
-			for _, idx := range alive {
+			for _, idx := range leftover {
 				if err := g.Add(records[idx]); err != nil {
 					return nil, nil, err
 				}
 			}
 			groups = append(groups, g)
-			members = append(members, append([]int(nil), alive...))
+			members = append(members, leftover)
 		}
 	}
 
 	return newCondensation(dim, k, opts, groups), members, nil
+}
+
+// neighborSearcher abstracts the alive-set bookkeeping of the static
+// construction: how many records remain, and extracting a sampled record
+// together with its k−1 nearest survivors.
+type neighborSearcher interface {
+	// remaining returns the number of not-yet-grouped records.
+	remaining() int
+	// takeGroup removes the record at alive position pick plus its k−1
+	// nearest surviving records and returns their record indices in
+	// ascending-distance order (the seed record first).
+	takeGroup(pick, k int) ([]int, error)
+	// leftover removes and returns the record indices still alive, in
+	// alive-set order.
+	leftover() []int
+}
+
+// newNeighborSearcher builds the backend selected by cfg.
+func newNeighborSearcher(records []mat.Vector, cfg searchConfig) (neighborSearcher, error) {
+	// alive holds indices of records not yet assigned to a group. Removal
+	// is swap-delete, so order is not preserved — grouping is randomized by
+	// the sampling step anyway.
+	alive := make([]int, len(records))
+	for i := range alive {
+		alive[i] = i
+	}
+	switch cfg.Search {
+	case SearchKDTree:
+		tree, err := knn.NewDynamicKDTree(records)
+		if err != nil {
+			return nil, fmt.Errorf("core: building kd-tree: %w", err)
+		}
+		pos := make([]int, len(records))
+		for i := range pos {
+			pos[i] = i
+		}
+		return &kdTreeSearcher{records: records, tree: tree, alive: alive, pos: pos}, nil
+	default:
+		return &scanSearcher{
+			records:  records,
+			alive:    alive,
+			fullSort: cfg.Search == SearchScanSort,
+			workers:  cfg.workers(),
+			dist:     make([]float64, len(records)),
+			order:    make([]int, len(records)),
+			chosen:   make([]int, 0, len(records)),
+		}, nil
+	}
+}
+
+// scanSearcher finds neighbours by sweeping distances over the alive set —
+// in parallel chunks when the set is large — and then either quickselecting
+// the k nearest (default) or fully sorting (the scan-sort reference). The
+// dist/order/chosen scratch slices are allocated once and reused across
+// groups.
+type scanSearcher struct {
+	records  []mat.Vector
+	alive    []int
+	fullSort bool
+	workers  int
+
+	dist   []float64 // distance from the current seed, by alive position
+	order  []int     // alive positions, permuted during selection
+	chosen []int     // alive positions picked for the current group
+}
+
+func (s *scanSearcher) remaining() int { return len(s.alive) }
+
+func (s *scanSearcher) takeGroup(pick, k int) ([]int, error) {
+	seed := s.records[s.alive[pick]]
+	dist := s.dist[:len(s.alive)]
+	sweepDistances(dist, seed, s.records, s.alive, s.workers)
+
+	// Order alive positions by distance to the seed; position `pick` has
+	// distance 0 and is selected first (ties broken by record index).
+	order := s.order[:len(s.alive)]
+	for i := range order {
+		order[i] = i
+	}
+	if s.fullSort {
+		sort.Slice(order, func(a, b int) bool { return dist[order[a]] < dist[order[b]] })
+	} else {
+		selectNearest(order, dist, s.alive, k)
+	}
+
+	group := make([]int, k)
+	for i, pos := range order[:k] {
+		group[i] = s.alive[pos]
+	}
+
+	// Delete the k chosen records from the alive set (descending positions
+	// so swap-delete does not disturb pending positions).
+	s.chosen = append(s.chosen[:0], order[:k]...)
+	sort.Sort(sort.Reverse(sort.IntSlice(s.chosen)))
+	for _, pos := range s.chosen {
+		s.alive[pos] = s.alive[len(s.alive)-1]
+		s.alive = s.alive[:len(s.alive)-1]
+	}
+	return group, nil
+}
+
+func (s *scanSearcher) leftover() []int {
+	out := append([]int(nil), s.alive...)
+	s.alive = s.alive[:0]
+	return out
+}
+
+// kdTreeSearcher answers neighbour queries from a DynamicKDTree with
+// tombstone deletion. It mirrors the scan backends' alive-set bookkeeping
+// (same swap-delete order) so that the seed sampled for a given rng draw
+// is the same record under every backend.
+type kdTreeSearcher struct {
+	records []mat.Vector
+	tree    *knn.DynamicKDTree
+	alive   []int
+	pos     []int // record index -> position in alive, -1 once grouped
+}
+
+func (s *kdTreeSearcher) remaining() int { return len(s.alive) }
+
+func (s *kdTreeSearcher) takeGroup(pick, k int) ([]int, error) {
+	seed := s.records[s.alive[pick]]
+	neighbors, err := s.tree.NearestAlive(seed, k)
+	if err != nil {
+		return nil, fmt.Errorf("core: kd-tree query: %w", err)
+	}
+	group := make([]int, len(neighbors))
+	for i, nb := range neighbors {
+		group[i] = nb.Index
+	}
+	// Delete from the tree and from the alive set, highest alive position
+	// first so swap-delete does not disturb pending positions.
+	positions := make([]int, len(group))
+	for i, idx := range group {
+		if err := s.tree.Delete(idx); err != nil {
+			return nil, fmt.Errorf("core: kd-tree delete: %w", err)
+		}
+		positions[i] = s.pos[idx]
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(positions)))
+	for _, p := range positions {
+		last := len(s.alive) - 1
+		s.pos[s.alive[p]] = -1
+		if p != last {
+			moved := s.alive[last]
+			s.alive[p] = moved
+			s.pos[moved] = p
+		}
+		s.alive = s.alive[:last]
+	}
+	return group, nil
+}
+
+func (s *kdTreeSearcher) leftover() []int {
+	out := append([]int(nil), s.alive...)
+	s.alive = s.alive[:0]
+	return out
 }

@@ -125,9 +125,7 @@ func LeftoverAblation(ds *dataset.Dataset, cfg Config) (*Table, error) {
 			for _, pol := range []core.Leftover{core.LeftoverNearestGroup, core.LeftoverOwnGroup} {
 				c := cfg
 				c.Options.Leftover = pol
-				anon, report, err := core.Anonymize(train, core.AnonymizeConfig{
-					K: k, Mode: core.ModeStatic, Options: c.Options,
-				}, r.Split())
+				anon, report, err := core.Anonymize(train, c.anonymizeConfig(k, core.ModeStatic), r.Split())
 				if err != nil {
 					return nil, err
 				}
@@ -182,9 +180,7 @@ func ClusteringStudy(ds *dataset.Dataset, clusters int, cfg Config) (*Table, err
 		var disp, inOrig, inAnon float64
 		for rep := 0; rep < cfg.Repetitions; rep++ {
 			r := root.Split()
-			anon, _, err := core.Anonymize(ds, core.AnonymizeConfig{
-				K: k, Mode: core.ModeStatic, Options: cfg.Options,
-			}, r.Split())
+			anon, _, err := core.Anonymize(ds, cfg.anonymizeConfig(k, core.ModeStatic), r.Split())
 			if err != nil {
 				return nil, err
 			}

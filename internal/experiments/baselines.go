@@ -235,7 +235,11 @@ func AttackStudy(ds *dataset.Dataset, cfg Config) (*Table, error) {
 		var attack, baseline, bound float64
 		for rep := 0; rep < cfg.Repetitions; rep++ {
 			r := root.Split()
-			cond, members, err := core.StaticWithMembers(ds.X, k, r, cfg.Options)
+			condenser, err := cfg.condenser(k, r)
+			if err != nil {
+				return nil, err
+			}
+			cond, members, err := condenser.StaticWithMembers(ds.X)
 			if err != nil {
 				return nil, err
 			}

@@ -33,6 +33,34 @@ type Config struct {
 	InitialFraction float64
 	// Options tunes the condensation itself (synthesis, split axis, ...).
 	Options core.Options
+	// Search selects the static neighbour-search backend (default auto).
+	Search core.NeighborSearch
+	// Parallelism bounds the static distance sweep's workers (default
+	// runtime.NumCPU()).
+	Parallelism int
+}
+
+// anonymizeConfig assembles the core anonymization config for one
+// (k, mode) cell of a study.
+func (c Config) anonymizeConfig(k int, mode core.Mode) core.AnonymizeConfig {
+	return core.AnonymizeConfig{
+		K:               k,
+		Mode:            mode,
+		Options:         c.Options,
+		InitialFraction: c.InitialFraction,
+		Search:          c.Search,
+		Parallelism:     c.Parallelism,
+	}
+}
+
+// condenser builds the Condenser facade for one k, drawing randomness
+// from r so repetitions stay independent.
+func (c Config) condenser(k int, r *rng.Source) (*core.Condenser, error) {
+	return core.NewCondenser(k,
+		core.WithRandomSource(r),
+		core.WithOptions(c.Options),
+		core.WithNeighborSearch(c.Search),
+		core.WithParallelism(c.Parallelism))
 }
 
 func (c *Config) fill() {
@@ -126,12 +154,7 @@ func AccuracyCurve(ds *dataset.Dataset, cfg Config) ([]AccuracyPoint, error) {
 // anonymizeAndEvaluate condenses the training data at level k in the given
 // mode and scores the resulting classifier on the original test data.
 func anonymizeAndEvaluate(train, test *dataset.Dataset, cfg Config, k int, mode core.Mode, r *rng.Source) (acc, avgGroupSize float64, err error) {
-	anon, report, err := core.Anonymize(train, core.AnonymizeConfig{
-		K:               k,
-		Mode:            mode,
-		Options:         cfg.Options,
-		InitialFraction: cfg.InitialFraction,
-	}, r)
+	anon, report, err := core.Anonymize(train, cfg.anonymizeConfig(k, mode), r)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -217,12 +240,7 @@ func CompatibilityCurve(ds *dataset.Dataset, cfg Config) ([]CompatPoint, error) 
 // anonymizeAndCompare anonymizes the full data set and computes µ between
 // original and anonymized records.
 func anonymizeAndCompare(ds *dataset.Dataset, cfg Config, k int, mode core.Mode, r *rng.Source) (mu, avgGroupSize float64, err error) {
-	anon, report, err := core.Anonymize(ds, core.AnonymizeConfig{
-		K:               k,
-		Mode:            mode,
-		Options:         cfg.Options,
-		InitialFraction: cfg.InitialFraction,
-	}, r)
+	anon, report, err := core.Anonymize(ds, cfg.anonymizeConfig(k, mode), r)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"condensation/internal/core"
 	"condensation/internal/dataset"
 	"condensation/internal/linreg"
 	"condensation/internal/mat"
@@ -51,7 +50,11 @@ func LinRegStudy(ds *dataset.Dataset, cfg Config) (*Table, error) {
 				row[d] = train.Targets[i]
 				joint[i] = row
 			}
-			cond, err := core.Static(joint, k, r.Split(), cfg.Options)
+			condenser, err := cfg.condenser(k, r.Split())
+			if err != nil {
+				return nil, err
+			}
+			cond, err := condenser.Static(joint)
 			if err != nil {
 				return nil, err
 			}

@@ -41,9 +41,7 @@ func TreeStudy(ds *dataset.Dataset, cfg Config) (*Table, error) {
 			}
 			orig += o
 			for _, mode := range []core.Mode{core.ModeStatic, core.ModeDynamic} {
-				anon, _, err := core.Anonymize(train, core.AnonymizeConfig{
-					K: k, Mode: mode, Options: cfg.Options, InitialFraction: cfg.InitialFraction,
-				}, r.Split())
+				anon, _, err := core.Anonymize(train, cfg.anonymizeConfig(k, mode), r.Split())
 				if err != nil {
 					return nil, err
 				}
@@ -98,9 +96,7 @@ func AssociationStudy(ds *dataset.Dataset, bins int, minSupport, minConfidence f
 	for _, k := range cfg.GroupSizes {
 		var jaccard, anonCount float64
 		for rep := 0; rep < cfg.Repetitions; rep++ {
-			anon, _, err := core.Anonymize(ds, core.AnonymizeConfig{
-				K: k, Mode: core.ModeStatic, Options: cfg.Options,
-			}, root.Split())
+			anon, _, err := core.Anonymize(ds, cfg.anonymizeConfig(k, core.ModeStatic), root.Split())
 			if err != nil {
 				return nil, err
 			}

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"condensation/internal/core"
 	"condensation/internal/dataset"
 	"condensation/internal/mat"
 	"condensation/internal/nb"
@@ -60,7 +59,11 @@ func NaiveBayesStudy(ds *dataset.Dataset, cfg Config) (*Table, error) {
 				for i, ri := range idx {
 					recs[i] = train.X[ri]
 				}
-				cond, err := core.Static(recs, k, r.Split(), cfg.Options)
+				condenser, err := cfg.condenser(k, r.Split())
+				if err != nil {
+					return nil, err
+				}
+				cond, err := condenser.Static(recs)
 				if err != nil {
 					return nil, err
 				}

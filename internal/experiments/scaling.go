@@ -51,7 +51,7 @@ func ScalingStudy(k int, sizes []int, cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			anon, _, err := core.Anonymize(ds, core.AnonymizeConfig{K: k, Mode: core.ModeStatic, Options: cfg.Options}, r.Split())
+			anon, _, err := core.Anonymize(ds, cfg.anonymizeConfig(k, core.ModeStatic), r.Split())
 			if err != nil {
 				return nil, err
 			}
@@ -93,9 +93,7 @@ func FidelityStudy(dsName string, cfg Config) (*Table, error) {
 			for _, synth := range []core.Synthesis{core.SynthesisUniform, core.SynthesisGaussian} {
 				c := cfg
 				c.Options.Synthesis = synth
-				anon, _, err := core.Anonymize(ds, core.AnonymizeConfig{
-					K: k, Mode: core.ModeStatic, Options: c.Options,
-				}, root.Split())
+				anon, _, err := core.Anonymize(ds, c.anonymizeConfig(k, core.ModeStatic), root.Split())
 				if err != nil {
 					return nil, err
 				}

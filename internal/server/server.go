@@ -15,6 +15,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -32,16 +33,27 @@ import (
 type Config struct {
 	// Dim is the record dimensionality.
 	Dim int
+	// Condenser supplies the condensation configuration (k, options,
+	// seed). Required unless the deprecated K/Options/Seed fields are set.
+	Condenser *core.Condenser
 	// K is the indistinguishability level.
+	//
+	// Deprecated: set Condenser instead; K is consulted only when
+	// Condenser is nil.
 	K int
 	// Options tunes condensation behaviour.
+	//
+	// Deprecated: set Condenser instead.
 	Options core.Options
 	// Seed seeds the server's split-axis randomness.
+	//
+	// Deprecated: set Condenser instead.
 	Seed uint64
 	// MaxBatch bounds the records accepted per POST (default 10000).
 	MaxBatch int
 	// Initial optionally seeds the server with an existing condensation
-	// (e.g. loaded from a checkpoint); its dim/k/options take precedence.
+	// (e.g. loaded from a checkpoint); its dim/k/options take precedence
+	// over Dim and over a nil Condenser's defaults.
 	Initial *core.Condensation
 }
 
@@ -60,12 +72,28 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 10000
 	}
+	condenser := cfg.Condenser
+	if condenser == nil {
+		// Legacy configuration path: assemble a facade from the deprecated
+		// positional fields, honouring the checkpoint's k/options when
+		// resuming.
+		k, opts := cfg.K, cfg.Options
+		if cfg.Initial != nil {
+			k, opts = cfg.Initial.K(), cfg.Initial.Options()
+		}
+		var err error
+		condenser, err = core.NewCondenser(k,
+			core.WithSeed(cfg.Seed), core.WithOptions(opts))
+		if err != nil {
+			return nil, err
+		}
+	}
 	var dyn *core.Dynamic
 	var err error
 	if cfg.Initial != nil {
-		dyn, err = core.NewDynamic(cfg.Initial, rng.New(cfg.Seed))
+		dyn, err = condenser.DynamicFrom(cfg.Initial)
 	} else {
-		dyn, err = core.NewDynamicEmpty(cfg.Dim, cfg.K, cfg.Options, rng.New(cfg.Seed))
+		dyn, err = condenser.Dynamic(cfg.Dim)
 	}
 	if err != nil {
 		return nil, err
@@ -153,11 +181,20 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 		records[i] = v
 	}
 
+	// Ingest under the request context: if the client disconnects or the
+	// request deadline passes mid-batch, ingestion stops at a record
+	// boundary instead of holding the lock for the full batch.
 	s.mu.Lock()
-	err := s.dyn.AddAll(records)
+	err := s.dyn.AddAllContext(r.Context(), records)
 	groups := s.dyn.NumGroups()
 	s.mu.Unlock()
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// 499-style: the client is gone or out of time; the write is
+			// best-effort.
+			writeError(w, http.StatusRequestTimeout, err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}

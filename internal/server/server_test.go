@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -299,3 +300,63 @@ func TestNewValidation(t *testing.T) {
 	}
 }
 
+// TestIngestCancelledContext verifies the ingestion path honours the
+// request context: a pre-cancelled request admits no records.
+func TestIngestCancelledContext(t *testing.T) {
+	s, err := New(Config{Dim: 2, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]interface{}{"records": genRecords(8, 40)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/records", bytes.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestTimeout {
+		t.Errorf("status = %d, want %d", rec.Code, http.StatusRequestTimeout)
+	}
+	// Nothing must have been condensed.
+	statsReq := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	statsRec := httptest.NewRecorder()
+	s.ServeHTTP(statsRec, statsReq)
+	var sr statsResponse
+	if err := json.NewDecoder(statsRec.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Records != 0 {
+		t.Errorf("%d records condensed under a cancelled context, want 0", sr.Records)
+	}
+}
+
+// TestConfigCondenser exercises the facade-based configuration path.
+func TestConfigCondenser(t *testing.T) {
+	c, err := core.NewCondenser(4, core.WithSeed(9), core.WithSynthesis(core.SynthesisGaussian))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Dim: 2, Condenser: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	if resp := postRecords(t, ts, genRecords(9, 30)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST status %d", resp.StatusCode)
+	}
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var sr statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.K != 4 || sr.Records != 30 {
+		t.Errorf("stats %+v, want k=4 records=30", sr)
+	}
+}

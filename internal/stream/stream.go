@@ -6,6 +6,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -41,9 +42,21 @@ func NewDriver(dyn *core.Dynamic) (*Driver, error) {
 	return &Driver{dyn: dyn}, nil
 }
 
-// Feed streams the records in order.
+// Feed streams the records in order. It is FeedContext with a background
+// context; long streams that must be abortable should use FeedContext.
 func (d *Driver) Feed(records []mat.Vector) error {
+	return d.FeedContext(context.Background(), records)
+}
+
+// FeedContext streams the records in order until the context is done, at
+// which point it stops with the context's error. Records fed before
+// cancellation stay condensed and counted; the driver can keep feeding
+// afterwards with a live context.
+func (d *Driver) FeedContext(ctx context.Context, records []mat.Vector) error {
 	for i, x := range records {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("stream: cancelled at record %d: %w", i, err)
+		}
 		if err := d.dyn.Add(x); err != nil {
 			return fmt.Errorf("stream: record %d: %w", i, err)
 		}

@@ -1,6 +1,8 @@
 package stream
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"condensation/internal/core"
@@ -75,6 +77,28 @@ func TestDriverSnapshotsDisabled(t *testing.T) {
 	}
 	if len(d.Snapshots()) != 0 {
 		t.Error("snapshots recorded with SnapshotEvery = 0")
+	}
+}
+
+func TestDriverFeedContextCancelled(t *testing.T) {
+	d, err := NewDriver(newDynamic(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := d.FeedContext(ctx, records(10, 20)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FeedContext on cancelled context: err = %v, want context.Canceled", err)
+	}
+	if d.Seen() != 0 {
+		t.Errorf("Seen = %d after pre-cancelled feed, want 0", d.Seen())
+	}
+	// A live context resumes feeding on the same driver.
+	if err := d.FeedContext(context.Background(), records(10, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Seen() != 20 {
+		t.Errorf("Seen = %d after resumed feed, want 20", d.Seen())
 	}
 }
 
