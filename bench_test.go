@@ -8,6 +8,7 @@
 package condensation
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -15,6 +16,7 @@ import (
 	"condensation/internal/core"
 	"condensation/internal/datagen"
 	"condensation/internal/experiments"
+	"condensation/internal/knn"
 	"condensation/internal/mat"
 	"condensation/internal/rng"
 	"condensation/internal/stats"
@@ -266,6 +268,86 @@ func BenchmarkCoreSynthesize(b *testing.B) {
 		if _, err := cond.Synthesize(r); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchWorkerCounts are the sub-benchmark worker counts of the parallel
+// micro-benchmarks: sequential, two workers, and the machine's default.
+func benchWorkerCounts() []int {
+	counts := []int{1, 2}
+	if n := runtime.NumCPU(); n != 1 && n != 2 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkCoreSynthesizeParallel sweeps the synthesis worker count on a
+// large condensation; the output is bit-identical across sub-benchmarks
+// (TestSynthesizeParallelEquivalence), only the wall clock moves.
+func BenchmarkCoreSynthesizeParallel(b *testing.B) {
+	ds := datagen.Abalone(7)
+	cond, err := core.Static(ds.X, 25, rng.New(4), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range benchWorkerCounts() {
+		b.Run(strconv.Itoa(w), func(b *testing.B) {
+			cond.SetParallelism(w)
+			r := rng.New(5)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cond.Synthesize(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKNNPredictAll sweeps the classifier's test-sweep worker count.
+// ReportAllocs makes the scratch-counter fix visible: allocations stay
+// flat per sweep instead of growing with the number of predictions.
+func BenchmarkKNNPredictAll(b *testing.B) {
+	ds := datagen.Pima(7)
+	train, test, err := ds.TrainTestSplit(0.75, rng.New(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	clf, err := knn.NewClassifier(train, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range benchWorkerCounts() {
+		b.Run(strconv.Itoa(w), func(b *testing.B) {
+			clf.SetParallelism(w)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := clf.PredictAll(test); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExperimentsAccuracyCurveParallel sweeps the experiment-cell
+// worker count on the paper's Fig 7a workload — the headline number for
+// the deterministic parallel evaluation engine.
+func BenchmarkExperimentsAccuracyCurveParallel(b *testing.B) {
+	ds := datagen.Pima(7)
+	for _, w := range benchWorkerCounts() {
+		b.Run(strconv.Itoa(w), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Parallelism = w
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.AccuracyCurve(ds, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

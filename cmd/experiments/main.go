@@ -47,7 +47,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		knnK    = fs.Int("knn", 1, "nearest-neighbour classifier k")
 		initial = fs.Float64("initial", 0.25, "dynamic mode: initial static fraction")
 		search  = fs.String("search", "auto", "static neighbour search: auto, scan-sort, quickselect, or kdtree")
-		par     = fs.Int("par", 0, "static distance-sweep parallelism (0 = all CPUs)")
+		par     = fs.Int("par", 0, "worker goroutines for experiment cells, synthesis, and classifier scoring (0 = all CPUs; results are identical for every setting)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err

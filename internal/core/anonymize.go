@@ -213,7 +213,8 @@ func anonymizeRegression(ds *dataset.Dataset, cfg AnonymizeConfig, r *rng.Source
 }
 
 // condenseRecords runs the configured construction regime on one record
-// set.
+// set. The returned condensation inherits cfg.Parallelism for its
+// synthesis fan-out.
 func condenseRecords(recs []mat.Vector, cfg AnonymizeConfig, r *rng.Source) (*Condensation, error) {
 	search := searchConfig{Search: cfg.Search, Parallelism: cfg.Parallelism}
 	switch cfg.Mode {
@@ -245,7 +246,9 @@ func condenseRecords(recs []mat.Vector, cfg AnonymizeConfig, r *rng.Source) (*Co
 		if err := dyn.AddAll(recs[initial:]); err != nil {
 			return nil, err
 		}
-		return dyn.Condensation(), nil
+		cond := dyn.Condensation()
+		cond.SetParallelism(cfg.Parallelism)
+		return cond, nil
 	default:
 		return nil, fmt.Errorf("core: unsupported mode %v", cfg.Mode)
 	}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"condensation/internal/mat"
+	"condensation/internal/par"
 	"condensation/internal/rng"
 	"condensation/internal/stats"
 )
@@ -17,6 +18,11 @@ type Condensation struct {
 	k      int
 	opts   Options
 	groups []*stats.Group
+	// par bounds the worker goroutines Synthesize fans the groups across.
+	// It is a performance knob, not a semantic option: synthesis output is
+	// identical for every setting, so it lives outside Options (which is
+	// serialized into checkpoints).
+	par int
 }
 
 // newCondensation wraps a set of groups. The groups are owned by the
@@ -24,6 +30,12 @@ type Condensation struct {
 func newCondensation(dim, k int, opts Options, groups []*stats.Group) *Condensation {
 	return &Condensation{dim: dim, k: k, opts: opts, groups: groups}
 }
+
+// SetParallelism bounds the worker goroutines Synthesize and
+// SynthesizeGrouped fan the groups across; values < 1 (the default) mean
+// runtime.NumCPU(). Each group draws from its own pre-derived rng stream,
+// so the synthesized records are bit-identical for every setting.
+func (c *Condensation) SetParallelism(p int) { c.par = p }
 
 // Dim returns the attribute dimensionality.
 func (c *Condensation) Dim() int { return c.dim }
@@ -120,17 +132,31 @@ func (c *Condensation) Synthesize(r *rng.Source) ([]mat.Vector, error) {
 }
 
 // SynthesizeGrouped is Synthesize with the output kept per group.
+//
+// Each group draws from its own rng stream, derived from r by one Split()
+// per group in group order before any worker starts. Group gi therefore
+// synthesizes the same points whether the groups run sequentially or fan
+// out across SetParallelism workers — the output depends only on r and
+// the group statistics, never on scheduling.
 func (c *Condensation) SynthesizeGrouped(r *rng.Source) ([][]mat.Vector, error) {
 	if r == nil {
 		return nil, errors.New("core: nil random source")
 	}
+	srcs := make([]*rng.Source, len(c.groups))
+	for gi := range srcs {
+		srcs[gi] = r.Split()
+	}
 	out := make([][]mat.Vector, len(c.groups))
-	for gi, g := range c.groups {
-		pts, err := synthesizeGroup(g, c.opts.Synthesis, r)
+	err := par.Run(len(c.groups), par.Workers(c.par), func(gi int) error {
+		pts, err := synthesizeGroup(c.groups[gi], c.opts.Synthesis, srcs[gi])
 		if err != nil {
-			return nil, fmt.Errorf("core: group %d: %w", gi, err)
+			return fmt.Errorf("core: group %d: %w", gi, err)
 		}
 		out[gi] = pts
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -203,5 +229,7 @@ func Merge(conds ...*Condensation) (*Condensation, error) {
 		}
 		groups = append(groups, c.Groups()...)
 	}
-	return newCondensation(dim, k, conds[0].opts, groups), nil
+	merged := newCondensation(dim, k, conds[0].opts, groups)
+	merged.par = conds[0].par
+	return merged, nil
 }

@@ -87,7 +87,9 @@ func staticCondense(records []mat.Vector, k int, r *rng.Source, opts Options, cf
 			groups[i] = g
 			members[i] = []int{i}
 		}
-		return newCondensation(dim, k, opts, groups), members, nil
+		cond := newCondensation(dim, k, opts, groups)
+		cond.par = cfg.Parallelism
+		return cond, members, nil
 	}
 
 	search, err := newNeighborSearcher(records, cfg)
@@ -165,7 +167,11 @@ func staticCondense(records []mat.Vector, k int, r *rng.Source, opts Options, cf
 		}
 	}
 
-	return newCondensation(dim, k, opts, groups), members, nil
+	// The sweep parallelism doubles as the synthesis parallelism of the
+	// resulting condensation — one knob end to end.
+	cond := newCondensation(dim, k, opts, groups)
+	cond.par = cfg.Parallelism
+	return cond, members, nil
 }
 
 // neighborSearcher abstracts the alive-set bookkeeping of the static

@@ -13,42 +13,60 @@ import (
 // group size. Per the paper's argument, the principal axis minimizes child
 // group variance and therefore preserves locality better.
 func SplitAxisAblation(ds *dataset.Dataset, cfg Config) (*Table, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:   "Ablation — dynamic split axis: principal (paper) vs random",
 		Columns: []string{"k", "principal_accuracy", "random_accuracy", "principal_mu", "random_mu"},
 	}
 	root := rng.New(cfg.Seed)
-	for _, k := range cfg.GroupSizes {
-		var accP, accR, muP, muR float64
-		for rep := 0; rep < cfg.Repetitions; rep++ {
-			r := root.Split()
-			train, test, err := ds.TrainTestSplit(cfg.TrainFraction, r)
+	reps := cfg.Repetitions
+	type cell struct{ accP, accR, muP, muR float64 }
+	cells := make([]cell, len(cfg.GroupSizes)*reps)
+	srcs := presplit(root, len(cells))
+	err := cfg.runCells(len(cells), func(i int) error {
+		k := cfg.GroupSizes[i/reps]
+		r := srcs[i]
+		train, test, err := ds.TrainTestSplit(cfg.TrainFraction, r)
+		if err != nil {
+			return err
+		}
+		for _, axis := range []core.SplitAxis{core.SplitPrincipal, core.SplitRandom} {
+			c := cfg
+			c.Options.SplitAxis = axis
+			acc, _, err := anonymizeAndEvaluate(train, test, c, k, core.ModeDynamic, r.Split())
 			if err != nil {
-				return nil, err
+				return err
 			}
-			for _, axis := range []core.SplitAxis{core.SplitPrincipal, core.SplitRandom} {
-				c := cfg
-				c.Options.SplitAxis = axis
-				acc, _, err := anonymizeAndEvaluate(train, test, c, k, core.ModeDynamic, r.Split())
-				if err != nil {
-					return nil, err
-				}
-				mu, _, err := anonymizeAndCompare(ds, c, k, core.ModeDynamic, r.Split())
-				if err != nil {
-					return nil, err
-				}
-				if axis == core.SplitPrincipal {
-					accP += acc
-					muP += mu
-				} else {
-					accR += acc
-					muR += mu
-				}
+			mu, _, err := anonymizeAndCompare(ds, c, k, core.ModeDynamic, r.Split())
+			if err != nil {
+				return err
+			}
+			if axis == core.SplitPrincipal {
+				cells[i].accP = acc
+				cells[i].muP = mu
+			} else {
+				cells[i].accR = acc
+				cells[i].muR = mu
 			}
 		}
-		reps := float64(cfg.Repetitions)
-		if err := t.AddRow(d(k), f(accP/reps), f(accR/reps), f(muP/reps), f(muR/reps)); err != nil {
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ki, k := range cfg.GroupSizes {
+		var accP, accR, muP, muR float64
+		for rep := 0; rep < reps; rep++ {
+			c := cells[ki*reps+rep]
+			accP += c.accP
+			accR += c.accR
+			muP += c.muP
+			muR += c.muR
+		}
+		n := float64(reps)
+		if err := t.AddRow(d(k), f(accP/n), f(accR/n), f(muP/n), f(muR/n)); err != nil {
 			return nil, err
 		}
 	}
@@ -60,42 +78,60 @@ func SplitAxisAblation(ds *dataset.Dataset, cfg Config) (*Table, error) {
 // two moments, so accuracy and µ should be close; the uniform variant's
 // bounded support keeps synthesized points inside the group locality.
 func SynthesisAblation(ds *dataset.Dataset, cfg Config) (*Table, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:   "Ablation — synthesis distribution: uniform (paper) vs gaussian",
 		Columns: []string{"k", "uniform_accuracy", "gaussian_accuracy", "uniform_mu", "gaussian_mu"},
 	}
 	root := rng.New(cfg.Seed)
-	for _, k := range cfg.GroupSizes {
-		var accU, accG, muU, muG float64
-		for rep := 0; rep < cfg.Repetitions; rep++ {
-			r := root.Split()
-			train, test, err := ds.TrainTestSplit(cfg.TrainFraction, r)
+	reps := cfg.Repetitions
+	type cell struct{ accU, accG, muU, muG float64 }
+	cells := make([]cell, len(cfg.GroupSizes)*reps)
+	srcs := presplit(root, len(cells))
+	err := cfg.runCells(len(cells), func(i int) error {
+		k := cfg.GroupSizes[i/reps]
+		r := srcs[i]
+		train, test, err := ds.TrainTestSplit(cfg.TrainFraction, r)
+		if err != nil {
+			return err
+		}
+		for _, synth := range []core.Synthesis{core.SynthesisUniform, core.SynthesisGaussian} {
+			c := cfg
+			c.Options.Synthesis = synth
+			acc, _, err := anonymizeAndEvaluate(train, test, c, k, core.ModeStatic, r.Split())
 			if err != nil {
-				return nil, err
+				return err
 			}
-			for _, synth := range []core.Synthesis{core.SynthesisUniform, core.SynthesisGaussian} {
-				c := cfg
-				c.Options.Synthesis = synth
-				acc, _, err := anonymizeAndEvaluate(train, test, c, k, core.ModeStatic, r.Split())
-				if err != nil {
-					return nil, err
-				}
-				mu, _, err := anonymizeAndCompare(ds, c, k, core.ModeStatic, r.Split())
-				if err != nil {
-					return nil, err
-				}
-				if synth == core.SynthesisUniform {
-					accU += acc
-					muU += mu
-				} else {
-					accG += acc
-					muG += mu
-				}
+			mu, _, err := anonymizeAndCompare(ds, c, k, core.ModeStatic, r.Split())
+			if err != nil {
+				return err
+			}
+			if synth == core.SynthesisUniform {
+				cells[i].accU = acc
+				cells[i].muU = mu
+			} else {
+				cells[i].accG = acc
+				cells[i].muG = mu
 			}
 		}
-		reps := float64(cfg.Repetitions)
-		if err := t.AddRow(d(k), f(accU/reps), f(accG/reps), f(muU/reps), f(muG/reps)); err != nil {
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ki, k := range cfg.GroupSizes {
+		var accU, accG, muU, muG float64
+		for rep := 0; rep < reps; rep++ {
+			c := cells[ki*reps+rep]
+			accU += c.accU
+			accG += c.accG
+			muU += c.muU
+			muG += c.muG
+		}
+		n := float64(reps)
+		if err := t.AddRow(d(k), f(accU/n), f(accG/n), f(muU/n), f(muG/n)); err != nil {
 			return nil, err
 		}
 	}
@@ -107,48 +143,69 @@ func SynthesisAblation(ds *dataset.Dataset, cfg Config) (*Table, error) {
 // undersized group, which would break the k-indistinguishability promise.
 // It reports the achieved minimum group size and accuracy for both.
 func LeftoverAblation(ds *dataset.Dataset, cfg Config) (*Table, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:   "Ablation — static leftover policy: nearest-group (paper) vs own-group",
 		Columns: []string{"k", "nearest_min_size", "own_min_size", "nearest_accuracy", "own_accuracy"},
 	}
 	root := rng.New(cfg.Seed)
-	for _, k := range cfg.GroupSizes {
-		var minN, minO int
-		var accN, accO float64
-		for rep := 0; rep < cfg.Repetitions; rep++ {
-			r := root.Split()
-			train, test, err := ds.TrainTestSplit(cfg.TrainFraction, r)
+	reps := cfg.Repetitions
+	type cell struct {
+		accN, accO float64
+		minN, minO int
+	}
+	cells := make([]cell, len(cfg.GroupSizes)*reps)
+	srcs := presplit(root, len(cells))
+	err := cfg.runCells(len(cells), func(i int) error {
+		k := cfg.GroupSizes[i/reps]
+		r := srcs[i]
+		train, test, err := ds.TrainTestSplit(cfg.TrainFraction, r)
+		if err != nil {
+			return err
+		}
+		for _, pol := range []core.Leftover{core.LeftoverNearestGroup, core.LeftoverOwnGroup} {
+			c := cfg
+			c.Options.Leftover = pol
+			anon, report, err := core.Anonymize(train, c.anonymizeConfig(k, core.ModeStatic), r.Split())
 			if err != nil {
-				return nil, err
+				return err
 			}
-			for _, pol := range []core.Leftover{core.LeftoverNearestGroup, core.LeftoverOwnGroup} {
-				c := cfg
-				c.Options.Leftover = pol
-				anon, report, err := core.Anonymize(train, c.anonymizeConfig(k, core.ModeStatic), r.Split())
-				if err != nil {
-					return nil, err
-				}
-				acc, err := evaluate(anon, test, c)
-				if err != nil {
-					return nil, err
-				}
-				minSize := minGroupSize(report)
-				if pol == core.LeftoverNearestGroup {
-					accN += acc
-					if rep == 0 || minSize < minN {
-						minN = minSize
-					}
-				} else {
-					accO += acc
-					if rep == 0 || minSize < minO {
-						minO = minSize
-					}
-				}
+			acc, err := evaluate(anon, test, c)
+			if err != nil {
+				return err
+			}
+			minSize := minGroupSize(report)
+			if pol == core.LeftoverNearestGroup {
+				cells[i].accN = acc
+				cells[i].minN = minSize
+			} else {
+				cells[i].accO = acc
+				cells[i].minO = minSize
 			}
 		}
-		reps := float64(cfg.Repetitions)
-		if err := t.AddRow(d(k), d(minN), d(minO), f(accN/reps), f(accO/reps)); err != nil {
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ki, k := range cfg.GroupSizes {
+		var minN, minO int
+		var accN, accO float64
+		for rep := 0; rep < reps; rep++ {
+			c := cells[ki*reps+rep]
+			accN += c.accN
+			accO += c.accO
+			if rep == 0 || c.minN < minN {
+				minN = c.minN
+			}
+			if rep == 0 || c.minO < minO {
+				minO = c.minO
+			}
+		}
+		n := float64(reps)
+		if err := t.AddRow(d(k), d(minN), d(minO), f(accN/n), f(accO/n)); err != nil {
 			return nil, err
 		}
 	}
@@ -170,38 +227,53 @@ func minGroupSize(report *core.Report) int {
 // found on the original data; the mean center displacement (normalized by
 // the data spread) is reported per group size.
 func ClusteringStudy(ds *dataset.Dataset, clusters int, cfg Config) (*Table, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:   "Extension — k-means utility preservation on condensed data",
 		Columns: []string{"k", "center_displacement", "inertia_original", "inertia_anonymized"},
 	}
 	root := rng.New(cfg.Seed)
-	for _, k := range cfg.GroupSizes {
-		var disp, inOrig, inAnon float64
-		for rep := 0; rep < cfg.Repetitions; rep++ {
-			r := root.Split()
-			anon, _, err := core.Anonymize(ds, cfg.anonymizeConfig(k, core.ModeStatic), r.Split())
-			if err != nil {
-				return nil, err
-			}
-			resOrig, err := clusterRecords(ds, clusters, r.Split())
-			if err != nil {
-				return nil, err
-			}
-			resAnon, err := clusterRecords(anon, clusters, r.Split())
-			if err != nil {
-				return nil, err
-			}
-			dsp, err := matchCenters(resOrig.Centers, resAnon.Centers)
-			if err != nil {
-				return nil, err
-			}
-			disp += dsp
-			inOrig += resOrig.Inertia
-			inAnon += resAnon.Inertia
+	reps := cfg.Repetitions
+	type cell struct{ disp, inOrig, inAnon float64 }
+	cells := make([]cell, len(cfg.GroupSizes)*reps)
+	srcs := presplit(root, len(cells))
+	err := cfg.runCells(len(cells), func(i int) error {
+		k := cfg.GroupSizes[i/reps]
+		r := srcs[i]
+		anon, _, err := core.Anonymize(ds, cfg.anonymizeConfig(k, core.ModeStatic), r.Split())
+		if err != nil {
+			return err
 		}
-		reps := float64(cfg.Repetitions)
-		if err := t.AddRow(d(k), f(disp/reps), f(inOrig/reps), f(inAnon/reps)); err != nil {
+		resOrig, err := clusterRecords(ds, clusters, r.Split())
+		if err != nil {
+			return err
+		}
+		resAnon, err := clusterRecords(anon, clusters, r.Split())
+		if err != nil {
+			return err
+		}
+		dsp, err := matchCenters(resOrig.Centers, resAnon.Centers)
+		if err != nil {
+			return err
+		}
+		cells[i] = cell{disp: dsp, inOrig: resOrig.Inertia, inAnon: resAnon.Inertia}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ki, k := range cfg.GroupSizes {
+		var disp, inOrig, inAnon float64
+		for rep := 0; rep < reps; rep++ {
+			c := cells[ki*reps+rep]
+			disp += c.disp
+			inOrig += c.inOrig
+			inAnon += c.inAnon
+		}
+		n := float64(reps)
+		if err := t.AddRow(d(k), f(disp/n), f(inOrig/n), f(inAnon/n)); err != nil {
 			return nil, err
 		}
 	}
@@ -211,15 +283,26 @@ func ClusteringStudy(ds *dataset.Dataset, clusters int, cfg Config) (*Table, err
 // CompatibilityOnly computes µ for one mode across group sizes — used by
 // benches that only need a single series.
 func CompatibilityOnly(ds *dataset.Dataset, cfg Config, mode core.Mode) (map[int]float64, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
 	root := rng.New(cfg.Seed)
-	out := make(map[int]float64, len(cfg.GroupSizes))
-	for _, k := range cfg.GroupSizes {
-		mu, _, err := anonymizeAndCompare(ds, cfg, k, mode, root.Split())
+	mus := make([]float64, len(cfg.GroupSizes))
+	srcs := presplit(root, len(mus))
+	err := cfg.runCells(len(mus), func(i int) error {
+		mu, _, err := anonymizeAndCompare(ds, cfg, cfg.GroupSizes[i], mode, srcs[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out[k] = mu
+		mus[i] = mu
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]float64, len(cfg.GroupSizes))
+	for i, k := range cfg.GroupSizes {
+		out[k] = mus[i]
 	}
 	return out, nil
 }

@@ -35,7 +35,9 @@ func matchCenters(a, b []mat.Vector) (float64, error) {
 // condensation keeps both the classifier and the correlation structure
 // intact, while the perturbation route is limited to marginals.
 func PerturbationComparison(ds *dataset.Dataset, sigmas []float64, cfg Config) (*Table, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
 	if ds.Task != dataset.Classification {
 		return nil, fmt.Errorf("experiments: perturbation comparison needs classification data, got %v", ds.Task)
 	}
@@ -59,54 +61,65 @@ func PerturbationComparison(ds *dataset.Dataset, sigmas []float64, cfg Config) (
 		return nil, err
 	}
 
-	// Perturbation rows: σ is in units of per-dimension standard
-	// deviations (data standardized internally for noise calibration).
-	for _, sigma := range sigmas {
-		r := root.Split()
-		p := perturb.Perturber{Std: sigma * meanStd(train), Family: perturb.NoiseGaussian}
-		clf, err := perturb.TrainDistributionClassifier(train, p, perturb.ReconstructOptions{}, r)
+	// Each σ row and each k row is one independent cell drawing two
+	// pre-split streams, in the order the sequential loops consumed them.
+	srcs := presplit(root, 2*(len(sigmas)+len(cfg.GroupSizes)))
+	rows := make([][]string, len(sigmas)+len(cfg.GroupSizes))
+	err = cfg.runCells(len(rows), func(i int) error {
+		r1, r2 := srcs[2*i], srcs[2*i+1]
+		if i < len(sigmas) {
+			// Perturbation row: σ is in units of per-dimension standard
+			// deviations (data standardized internally for noise
+			// calibration).
+			sigma := sigmas[i]
+			p := perturb.Perturber{Std: sigma * meanStd(train), Family: perturb.NoiseGaussian}
+			clf, err := perturb.TrainDistributionClassifier(train, p, perturb.ReconstructOptions{}, r1)
+			if err != nil {
+				return err
+			}
+			preds, err := clf.PredictAll(test)
+			if err != nil {
+				return err
+			}
+			acc, err := metrics.Accuracy(preds, test.Labels)
+			if err != nil {
+				return err
+			}
+			noisy, err := p.Perturb(ds.X, r2)
+			if err != nil {
+				return err
+			}
+			mu, err := metrics.CovarianceCompatibility(ds.X, noisy)
+			if err != nil {
+				return err
+			}
+			interval, err := p.PrivacyInterval(0.95)
+			if err != nil {
+				return err
+			}
+			rows[i] = []string{"perturbation", fmt.Sprintf("sigma=%.2f", sigma), f(acc), f(mu),
+				fmt.Sprintf("95%%-interval=%.2f", interval)}
+			return nil
+		}
+		// Condensation row.
+		k := cfg.GroupSizes[i-len(sigmas)]
+		acc, _, err := anonymizeAndEvaluate(train, test, cfg, k, core.ModeStatic, r1)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		preds, err := clf.PredictAll(test)
+		mu, _, err := anonymizeAndCompare(ds, cfg, k, core.ModeStatic, r2)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		acc, err := metrics.Accuracy(preds, test.Labels)
-		if err != nil {
-			return nil, err
-		}
-		noisy, err := p.Perturb(ds.X, root.Split())
-		if err != nil {
-			return nil, err
-		}
-		mu, err := metrics.CovarianceCompatibility(ds.X, noisy)
-		if err != nil {
-			return nil, err
-		}
-		interval, err := p.PrivacyInterval(0.95)
-		if err != nil {
-			return nil, err
-		}
-		if err := t.AddRow("perturbation", fmt.Sprintf("sigma=%.2f", sigma), f(acc), f(mu),
-			fmt.Sprintf("95%%-interval=%.2f", interval)); err != nil {
-			return nil, err
-		}
+		rows[i] = []string{"condensation", fmt.Sprintf("k=%d", k), f(acc), f(mu),
+			fmt.Sprintf("reident<=1/%d", k)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-
-	// Condensation rows.
-	for _, k := range cfg.GroupSizes {
-		r := root.Split()
-		acc, _, err := anonymizeAndEvaluate(train, test, cfg, k, core.ModeStatic, r)
-		if err != nil {
-			return nil, err
-		}
-		mu, _, err := anonymizeAndCompare(ds, cfg, k, core.ModeStatic, root.Split())
-		if err != nil {
-			return nil, err
-		}
-		if err := t.AddRow("condensation", fmt.Sprintf("k=%d", k), f(acc), f(mu),
-			fmt.Sprintf("reident<=1/%d", k)); err != nil {
+	for _, row := range rows {
+		if err := t.AddRow(row...); err != nil {
 			return nil, err
 		}
 	}
@@ -155,7 +168,9 @@ func stdDev(xs []float64) float64 {
 // trained on the generalized data, and information loss is reported both
 // as µ and as the normalized certainty penalty.
 func KAnonymityComparison(ds *dataset.Dataset, cfg Config) (*Table, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
 	if ds.Task != dataset.Classification {
 		return nil, fmt.Errorf("experiments: k-anonymity comparison needs classification data, got %v", ds.Task)
 	}
@@ -168,53 +183,71 @@ func KAnonymityComparison(ds *dataset.Dataset, cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, k := range cfg.GroupSizes {
+	// One cell per k, drawing two pre-split streams (evaluate, compare) in
+	// the sequential order; the Mondrian side is deterministic.
+	srcs := presplit(root, 2*len(cfg.GroupSizes))
+	rows := make([][]string, len(cfg.GroupSizes))
+	err = cfg.runCells(len(rows), func(i int) error {
+		k := cfg.GroupSizes[i]
 		// Condensation side.
-		condAcc, _, err := anonymizeAndEvaluate(train, test, cfg, k, core.ModeStatic, root.Split())
+		condAcc, _, err := anonymizeAndEvaluate(train, test, cfg, k, core.ModeStatic, srcs[2*i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		condMu, _, err := anonymizeAndCompare(ds, cfg, k, core.ModeStatic, root.Split())
+		condMu, _, err := anonymizeAndCompare(ds, cfg, k, core.ModeStatic, srcs[2*i+1])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Mondrian side: partition per class (labels are public in this
-		// comparison, mirroring the per-class condensation).
+		// comparison, mirroring the per-class condensation). Classes are
+		// visited in label order so the NCP accumulation order — and with
+		// it the reported float — is deterministic.
 		genTrain := train.Clone()
 		byClass := train.ByClass()
 		var ncpWeighted float64
-		for _, idx := range byClass {
+		for label := 0; label < train.NumClasses(); label++ {
+			idx := byClass[label]
+			if len(idx) == 0 {
+				continue
+			}
 			recs := make([]mat.Vector, len(idx))
 			for i, ri := range idx {
 				recs[i] = train.X[ri]
 			}
 			parts, err := kanon.Mondrian(recs, k)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			gen, err := kanon.Generalize(recs, parts)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			for i, ri := range idx {
 				genTrain.X[ri] = gen[i]
 			}
 			ncp, err := kanon.NCP(recs, parts)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			ncpWeighted += ncp * float64(len(idx))
 		}
 		ncpWeighted /= float64(train.Len())
 		mondAcc, err := evaluate(genTrain, test, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		mondMu, err := muBetween(train, genTrain)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if err := t.AddRow(d(k), f(condAcc), f(mondAcc), f(condMu), f(mondMu), f(ncpWeighted)); err != nil {
+		rows[i] = []string{d(k), f(condAcc), f(mondAcc), f(condMu), f(mondMu), f(ncpWeighted)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		if err := t.AddRow(row...); err != nil {
 			return nil, err
 		}
 	}
@@ -225,55 +258,70 @@ func KAnonymityComparison(ds *dataset.Dataset, cfg Config) (*Table, error) {
 // condensed-and-synthesized data as a function of k, alongside the random
 // baseline and the in-group re-identification bound 1/k.
 func AttackStudy(ds *dataset.Dataset, cfg Config) (*Table, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:   "Privacy — linkage attack success vs indistinguishability level",
 		Columns: []string{"k", "attack_rate", "random_baseline", "in_group_bound"},
 	}
 	root := rng.New(cfg.Seed)
-	for _, k := range cfg.GroupSizes {
-		var attack, baseline, bound float64
-		for rep := 0; rep < cfg.Repetitions; rep++ {
-			r := root.Split()
-			condenser, err := cfg.condenser(k, r)
-			if err != nil {
-				return nil, err
-			}
-			cond, members, err := condenser.StaticWithMembers(ds.X)
-			if err != nil {
-				return nil, err
-			}
-			synth, err := cond.SynthesizeGrouped(r)
-			if err != nil {
-				return nil, err
-			}
-			origByGroup := make([][]mat.Vector, len(members))
-			sizes := make([]int, len(members))
-			for gi, member := range members {
-				for _, idx := range member {
-					origByGroup[gi] = append(origByGroup[gi], ds.X[idx])
-				}
-				sizes[gi] = len(member)
-			}
-			rate, err := privacy.LinkageAttack(origByGroup, synth)
-			if err != nil {
-				return nil, err
-			}
-			rnd, err := privacy.RandomLinkageRate(sizes)
-			if err != nil {
-				return nil, err
-			}
-			groups := cond.Groups()
-			reident, err := privacy.ExpectedReidentification(groups)
-			if err != nil {
-				return nil, err
-			}
-			attack += rate
-			baseline += rnd
-			bound += reident
+	reps := cfg.Repetitions
+	type cell struct{ attack, baseline, bound float64 }
+	cells := make([]cell, len(cfg.GroupSizes)*reps)
+	srcs := presplit(root, len(cells))
+	err := cfg.runCells(len(cells), func(i int) error {
+		k := cfg.GroupSizes[i/reps]
+		r := srcs[i]
+		condenser, err := cfg.condenser(k, r)
+		if err != nil {
+			return err
 		}
-		reps := float64(cfg.Repetitions)
-		if err := t.AddRow(d(k), f(attack/reps), f(baseline/reps), f(bound/reps)); err != nil {
+		cond, members, err := condenser.StaticWithMembers(ds.X)
+		if err != nil {
+			return err
+		}
+		synth, err := cond.SynthesizeGrouped(r)
+		if err != nil {
+			return err
+		}
+		origByGroup := make([][]mat.Vector, len(members))
+		sizes := make([]int, len(members))
+		for gi, member := range members {
+			for _, idx := range member {
+				origByGroup[gi] = append(origByGroup[gi], ds.X[idx])
+			}
+			sizes[gi] = len(member)
+		}
+		rate, err := privacy.LinkageAttack(origByGroup, synth)
+		if err != nil {
+			return err
+		}
+		rnd, err := privacy.RandomLinkageRate(sizes)
+		if err != nil {
+			return err
+		}
+		groups := cond.Groups()
+		reident, err := privacy.ExpectedReidentification(groups)
+		if err != nil {
+			return err
+		}
+		cells[i] = cell{attack: rate, baseline: rnd, bound: reident}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ki, k := range cfg.GroupSizes {
+		var attack, baseline, bound float64
+		for rep := 0; rep < reps; rep++ {
+			c := cells[ki*reps+rep]
+			attack += c.attack
+			baseline += c.baseline
+			bound += c.bound
+		}
+		n := float64(reps)
+		if err := t.AddRow(d(k), f(attack/n), f(baseline/n), f(bound/n)); err != nil {
 			return nil, err
 		}
 	}

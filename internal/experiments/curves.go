@@ -18,16 +18,21 @@ type Config struct {
 	// GroupSizes is the x-axis of every figure: the indistinguishability
 	// levels k to sweep. Defaults to the paper's visible range.
 	GroupSizes []int
-	// TrainFraction is the train/test split ratio (default 0.75).
+	// TrainFraction is the train/test split ratio. Values outside the
+	// open interval (0, 1) — including the zero value — are silently
+	// coerced to the default 0.75.
 	TrainFraction float64
 	// Repetitions averages each point over this many independent splits
-	// and condensations (default 3), smoothing sampling noise.
+	// and condensations, smoothing sampling noise. Values < 1 are
+	// silently coerced to the default 3.
 	Repetitions int
-	// ClassifierK is the nearest-neighbour k (default 1, the paper's
-	// "class label of the closest record").
+	// ClassifierK is the nearest-neighbour k (the paper's "class label of
+	// the closest record"). Values < 1 are silently coerced to the
+	// default 1.
 	ClassifierK int
-	// Tolerance is the regression hit tolerance (default 1, the paper's
-	// "within one year" for Abalone).
+	// Tolerance is the regression hit tolerance (the paper's "within one
+	// year" for Abalone). Values <= 0 are silently coerced to the
+	// default 1.
 	Tolerance float64
 	// InitialFraction is passed through to dynamic condensation.
 	InitialFraction float64
@@ -35,8 +40,13 @@ type Config struct {
 	Options core.Options
 	// Search selects the static neighbour-search backend (default auto).
 	Search core.NeighborSearch
-	// Parallelism bounds the static distance sweep's workers (default
-	// runtime.NumCPU()).
+	// Parallelism bounds the worker goroutines of the whole evaluation
+	// stack: the (k × repetitions) experiment cell pool, the k-NN
+	// PredictAll sweep, per-group synthesis, and the static distance
+	// sweep. 0 (the zero value) means runtime.NumCPU(); negative values
+	// are rejected with an error rather than coerced, because a negative
+	// count is always a caller bug. Results are bit-identical for every
+	// setting.
 	Parallelism int
 }
 
@@ -63,7 +73,13 @@ func (c Config) condenser(k int, r *rng.Source) (*core.Condenser, error) {
 		core.WithParallelism(c.Parallelism))
 }
 
-func (c *Config) fill() {
+// fill applies the documented defaults in place. Unlike the coerced
+// fields, a negative Parallelism is rejected explicitly: it can only be a
+// caller bug, and silently running sequentially would hide it.
+func (c *Config) fill() error {
+	if c.Parallelism < 0 {
+		return fmt.Errorf("experiments: Parallelism = %d, must be ≥ 0 (0 means runtime.NumCPU())", c.Parallelism)
+	}
 	if len(c.GroupSizes) == 0 {
 		c.GroupSizes = []int{2, 5, 10, 15, 20, 25, 30, 40, 50}
 	}
@@ -79,6 +95,7 @@ func (c *Config) fill() {
 	if c.Tolerance <= 0 {
 		c.Tolerance = 1
 	}
+	return nil
 }
 
 // AccuracyPoint is one x-position of a figure's panel (a).
@@ -108,44 +125,58 @@ type CompatPoint struct {
 // the three series. The classifier is trained on (possibly anonymized)
 // training data and always evaluated on untouched original test data.
 func AccuracyCurve(ds *dataset.Dataset, cfg Config) ([]AccuracyPoint, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
 	if err := ds.Validate(); err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
 	root := rng.New(cfg.Seed)
-	points := make([]AccuracyPoint, 0, len(cfg.GroupSizes))
-	for _, k := range cfg.GroupSizes {
-		var point AccuracyPoint
-		point.K = k
-		var avgSum float64
-		for rep := 0; rep < cfg.Repetitions; rep++ {
-			r := root.Split()
-			train, test, err := ds.TrainTestSplit(cfg.TrainFraction, r)
-			if err != nil {
-				return nil, err
-			}
-			orig, err := evaluate(train, test, cfg)
-			if err != nil {
-				return nil, err
-			}
-			staticAcc, _, err := anonymizeAndEvaluate(train, test, cfg, k, core.ModeStatic, r)
-			if err != nil {
-				return nil, err
-			}
-			dynAcc, avg, err := anonymizeAndEvaluate(train, test, cfg, k, core.ModeDynamic, r)
-			if err != nil {
-				return nil, err
-			}
-			point.Original += orig
-			point.Static += staticAcc
-			point.Dynamic += dynAcc
-			avgSum += avg
+	reps := cfg.Repetitions
+	type cell struct{ orig, static, dynamic, avg float64 }
+	cells := make([]cell, len(cfg.GroupSizes)*reps)
+	srcs := presplit(root, len(cells))
+	err := cfg.runCells(len(cells), func(i int) error {
+		k := cfg.GroupSizes[i/reps]
+		r := srcs[i]
+		train, test, err := ds.TrainTestSplit(cfg.TrainFraction, r)
+		if err != nil {
+			return err
 		}
-		reps := float64(cfg.Repetitions)
-		point.Original /= reps
-		point.Static /= reps
-		point.Dynamic /= reps
-		point.AvgGroupSize = avgSum / reps
+		orig, err := evaluate(train, test, cfg)
+		if err != nil {
+			return err
+		}
+		staticAcc, _, err := anonymizeAndEvaluate(train, test, cfg, k, core.ModeStatic, r)
+		if err != nil {
+			return err
+		}
+		dynAcc, avg, err := anonymizeAndEvaluate(train, test, cfg, k, core.ModeDynamic, r)
+		if err != nil {
+			return err
+		}
+		cells[i] = cell{orig: orig, static: staticAcc, dynamic: dynAcc, avg: avg}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]AccuracyPoint, 0, len(cfg.GroupSizes))
+	for ki, k := range cfg.GroupSizes {
+		point := AccuracyPoint{K: k}
+		var avgSum float64
+		for rep := 0; rep < reps; rep++ {
+			c := cells[ki*reps+rep]
+			point.Original += c.orig
+			point.Static += c.static
+			point.Dynamic += c.dynamic
+			avgSum += c.avg
+		}
+		n := float64(reps)
+		point.Original /= n
+		point.Static /= n
+		point.Dynamic /= n
+		point.AvgGroupSize = avgSum / n
 		points = append(points, point)
 	}
 	return points, nil
@@ -167,7 +198,9 @@ func anonymizeAndEvaluate(train, test *dataset.Dataset, cfg Config, k int, mode 
 
 // evaluate trains the paper's classifier (or regressor) on train and
 // scores it on test: accuracy for classification, within-tolerance rate
-// for regression.
+// for regression. The scoring sweep inherits cfg.Parallelism; predictions
+// are pure functions of the fitted model, so the parallel sweep changes
+// nothing but wall-clock time.
 func evaluate(train, test *dataset.Dataset, cfg Config) (float64, error) {
 	switch train.Task {
 	case dataset.Classification:
@@ -175,6 +208,7 @@ func evaluate(train, test *dataset.Dataset, cfg Config) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
+		clf.SetParallelism(cfg.Parallelism)
 		preds, err := clf.PredictAll(test)
 		if err != nil {
 			return 0, err
@@ -185,6 +219,7 @@ func evaluate(train, test *dataset.Dataset, cfg Config) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
+		reg.SetParallelism(cfg.Parallelism)
 		preds, err := reg.PredictAll(test)
 		if err != nil {
 			return 0, err
@@ -201,7 +236,9 @@ func evaluate(train, test *dataset.Dataset, cfg Config) (float64, error) {
 // function of average group size. Per the paper, the comparison is over
 // the whole data set's covariance structure.
 func CompatibilityCurve(ds *dataset.Dataset, cfg Config) ([]CompatPoint, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
 	if err := ds.Validate(); err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
@@ -209,29 +246,41 @@ func CompatibilityCurve(ds *dataset.Dataset, cfg Config) ([]CompatPoint, error) 
 		return nil, errors.New("experiments: empty data set")
 	}
 	root := rng.New(cfg.Seed)
-	points := make([]CompatPoint, 0, len(cfg.GroupSizes))
-	for _, k := range cfg.GroupSizes {
-		var point CompatPoint
-		point.K = k
-		var avgSum float64
-		for rep := 0; rep < cfg.Repetitions; rep++ {
-			r := root.Split()
-			muStatic, _, err := anonymizeAndCompare(ds, cfg, k, core.ModeStatic, r)
-			if err != nil {
-				return nil, err
-			}
-			muDynamic, avg, err := anonymizeAndCompare(ds, cfg, k, core.ModeDynamic, r)
-			if err != nil {
-				return nil, err
-			}
-			point.Static += muStatic
-			point.Dynamic += muDynamic
-			avgSum += avg
+	reps := cfg.Repetitions
+	type cell struct{ static, dynamic, avg float64 }
+	cells := make([]cell, len(cfg.GroupSizes)*reps)
+	srcs := presplit(root, len(cells))
+	err := cfg.runCells(len(cells), func(i int) error {
+		k := cfg.GroupSizes[i/reps]
+		r := srcs[i]
+		muStatic, _, err := anonymizeAndCompare(ds, cfg, k, core.ModeStatic, r)
+		if err != nil {
+			return err
 		}
-		reps := float64(cfg.Repetitions)
-		point.Static /= reps
-		point.Dynamic /= reps
-		point.AvgGroupSize = avgSum / reps
+		muDynamic, avg, err := anonymizeAndCompare(ds, cfg, k, core.ModeDynamic, r)
+		if err != nil {
+			return err
+		}
+		cells[i] = cell{static: muStatic, dynamic: muDynamic, avg: avg}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]CompatPoint, 0, len(cfg.GroupSizes))
+	for ki, k := range cfg.GroupSizes {
+		point := CompatPoint{K: k}
+		var avgSum float64
+		for rep := 0; rep < reps; rep++ {
+			c := cells[ki*reps+rep]
+			point.Static += c.static
+			point.Dynamic += c.dynamic
+			avgSum += c.avg
+		}
+		n := float64(reps)
+		point.Static /= n
+		point.Dynamic /= n
+		point.AvgGroupSize = avgSum / n
 		points = append(points, point)
 	}
 	return points, nil

@@ -17,7 +17,9 @@ import (
 // algorithm-specific redesign. The tree options mirror sensible defaults;
 // both sides are scored on untouched test data.
 func TreeStudy(ds *dataset.Dataset, cfg Config) (*Table, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
 	if ds.Task != dataset.Classification {
 		return nil, fmt.Errorf("experiments: tree study needs classification data, got %v", ds.Task)
 	}
@@ -27,37 +29,52 @@ func TreeStudy(ds *dataset.Dataset, cfg Config) (*Table, error) {
 	}
 	root := rng.New(cfg.Seed)
 	treeOpts := tree.Options{MaxDepth: 8, MinLeaf: 5}
-	for _, k := range cfg.GroupSizes {
-		var orig, static, dynamic float64
-		for rep := 0; rep < cfg.Repetitions; rep++ {
-			r := root.Split()
-			train, test, err := ds.TrainTestSplit(cfg.TrainFraction, r)
+	reps := cfg.Repetitions
+	type cell struct{ orig, static, dynamic float64 }
+	cells := make([]cell, len(cfg.GroupSizes)*reps)
+	srcs := presplit(root, len(cells))
+	err := cfg.runCells(len(cells), func(i int) error {
+		k := cfg.GroupSizes[i/reps]
+		r := srcs[i]
+		train, test, err := ds.TrainTestSplit(cfg.TrainFraction, r)
+		if err != nil {
+			return err
+		}
+		o, err := treeAccuracy(train, test, treeOpts)
+		if err != nil {
+			return err
+		}
+		cells[i].orig = o
+		for _, mode := range []core.Mode{core.ModeStatic, core.ModeDynamic} {
+			anon, _, err := core.Anonymize(train, cfg.anonymizeConfig(k, mode), r.Split())
 			if err != nil {
-				return nil, err
+				return err
 			}
-			o, err := treeAccuracy(train, test, treeOpts)
+			acc, err := treeAccuracy(anon, test, treeOpts)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			orig += o
-			for _, mode := range []core.Mode{core.ModeStatic, core.ModeDynamic} {
-				anon, _, err := core.Anonymize(train, cfg.anonymizeConfig(k, mode), r.Split())
-				if err != nil {
-					return nil, err
-				}
-				acc, err := treeAccuracy(anon, test, treeOpts)
-				if err != nil {
-					return nil, err
-				}
-				if mode == core.ModeStatic {
-					static += acc
-				} else {
-					dynamic += acc
-				}
+			if mode == core.ModeStatic {
+				cells[i].static = acc
+			} else {
+				cells[i].dynamic = acc
 			}
 		}
-		reps := float64(cfg.Repetitions)
-		if err := t.AddRow(d(k), f(orig/reps), f(static/reps), f(dynamic/reps)); err != nil {
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ki, k := range cfg.GroupSizes {
+		var orig, static, dynamic float64
+		for rep := 0; rep < reps; rep++ {
+			c := cells[ki*reps+rep]
+			orig += c.orig
+			static += c.static
+			dynamic += c.dynamic
+		}
+		n := float64(reps)
+		if err := t.AddRow(d(k), f(orig/n), f(static/n), f(dynamic/n)); err != nil {
 			return nil, err
 		}
 	}
@@ -78,7 +95,9 @@ func treeAccuracy(train, test *dataset.Dataset, opts tree.Options) (float64, err
 // mining as a problem requiring bespoke redesign under perturbation,
 // whereas here the standard pipeline runs unchanged on condensed records.
 func AssociationStudy(ds *dataset.Dataset, bins int, minSupport, minConfidence float64, cfg Config) (*Table, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
 	if bins < 2 {
 		return nil, fmt.Errorf("experiments: %d bins", bins)
 	}
@@ -93,22 +112,35 @@ func AssociationStudy(ds *dataset.Dataset, bins int, minSupport, minConfidence f
 	if err != nil {
 		return nil, err
 	}
-	for _, k := range cfg.GroupSizes {
-		var jaccard, anonCount float64
-		for rep := 0; rep < cfg.Repetitions; rep++ {
-			anon, _, err := core.Anonymize(ds, cfg.anonymizeConfig(k, core.ModeStatic), root.Split())
-			if err != nil {
-				return nil, err
-			}
-			anonRules, err := mineRules(anon, bins, minSupport, minConfidence)
-			if err != nil {
-				return nil, err
-			}
-			jaccard += assoc.RuleSetJaccard(origRules, anonRules)
-			anonCount += float64(len(anonRules))
+	reps := cfg.Repetitions
+	type cell struct{ jaccard, anonCount float64 }
+	cells := make([]cell, len(cfg.GroupSizes)*reps)
+	srcs := presplit(root, len(cells))
+	err = cfg.runCells(len(cells), func(i int) error {
+		k := cfg.GroupSizes[i/reps]
+		anon, _, err := core.Anonymize(ds, cfg.anonymizeConfig(k, core.ModeStatic), srcs[i])
+		if err != nil {
+			return err
 		}
-		reps := float64(cfg.Repetitions)
-		if err := t.AddRow(d(k), d(len(origRules)), f1(anonCount/reps), f(jaccard/reps)); err != nil {
+		anonRules, err := mineRules(anon, bins, minSupport, minConfidence)
+		if err != nil {
+			return err
+		}
+		cells[i] = cell{jaccard: assoc.RuleSetJaccard(origRules, anonRules), anonCount: float64(len(anonRules))}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ki, k := range cfg.GroupSizes {
+		var jaccard, anonCount float64
+		for rep := 0; rep < reps; rep++ {
+			c := cells[ki*reps+rep]
+			jaccard += c.jaccard
+			anonCount += c.anonCount
+		}
+		n := float64(reps)
+		if err := t.AddRow(d(k), d(len(origRules)), f1(anonCount/n), f(jaccard/n)); err != nil {
 			return nil, err
 		}
 	}

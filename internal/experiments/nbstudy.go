@@ -24,7 +24,9 @@ import (
 // point); the third shows the extra noise synthesis adds for moment-based
 // learners.
 func NaiveBayesStudy(ds *dataset.Dataset, cfg Config) (*Table, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
 	if ds.Task != dataset.Classification {
 		return nil, fmt.Errorf("experiments: naive Bayes study needs classification data, got %v", ds.Task)
 	}
@@ -33,76 +35,97 @@ func NaiveBayesStudy(ds *dataset.Dataset, cfg Config) (*Table, error) {
 		Columns: []string{"k", "nb_original", "nb_from_stats", "nb_synthesized"},
 	}
 	root := rng.New(cfg.Seed)
-	for _, k := range cfg.GroupSizes {
-		var orig, direct, synth float64
-		for rep := 0; rep < cfg.Repetitions; rep++ {
-			r := root.Split()
-			train, test, err := ds.TrainTestSplit(cfg.TrainFraction, r)
-			if err != nil {
-				return nil, err
-			}
-
-			clfO, err := nb.Train(train)
-			if err != nil {
-				return nil, err
-			}
-			accO, err := clfO.Accuracy(test)
-			if err != nil {
-				return nil, err
-			}
-
-			// Condense per class once; reuse for both privacy paths.
-			classGroups := make(map[int][]*stats.Group)
-			anon := &dataset.Dataset{Task: dataset.Classification, Attrs: train.Attrs, ClassNames: train.ClassNames}
-			for label, idx := range train.ByClass() {
-				recs := make([]mat.Vector, len(idx))
-				for i, ri := range idx {
-					recs[i] = train.X[ri]
-				}
-				condenser, err := cfg.condenser(k, r.Split())
-				if err != nil {
-					return nil, err
-				}
-				cond, err := condenser.Static(recs)
-				if err != nil {
-					return nil, err
-				}
-				classGroups[label] = cond.Groups()
-				pts, err := cond.Synthesize(r.Split())
-				if err != nil {
-					return nil, err
-				}
-				for _, x := range pts {
-					if err := anon.Append(x, label, 0); err != nil {
-						return nil, err
-					}
-				}
-			}
-
-			clfD, err := nb.FromGroups(train.NumClasses(), classGroups)
-			if err != nil {
-				return nil, err
-			}
-			accD, err := clfD.Accuracy(test)
-			if err != nil {
-				return nil, err
-			}
-
-			clfS, err := nb.Train(anon)
-			if err != nil {
-				return nil, err
-			}
-			accS, err := clfS.Accuracy(test)
-			if err != nil {
-				return nil, err
-			}
-
-			orig += accO
-			direct += accD
-			synth += accS
+	reps := cfg.Repetitions
+	type cell struct{ orig, direct, synth float64 }
+	cells := make([]cell, len(cfg.GroupSizes)*reps)
+	srcs := presplit(root, len(cells))
+	err := cfg.runCells(len(cells), func(i int) error {
+		k := cfg.GroupSizes[i/reps]
+		r := srcs[i]
+		train, test, err := ds.TrainTestSplit(cfg.TrainFraction, r)
+		if err != nil {
+			return err
 		}
-		reps := float64(cfg.Repetitions)
-		if err := t.AddRow(d(k), f(orig/reps), f(direct/reps), f(synth/reps)); err != nil {
+
+		clfO, err := nb.Train(train)
+		if err != nil {
+			return err
+		}
+		accO, err := clfO.Accuracy(test)
+		if err != nil {
+			return err
+		}
+
+		// Condense per class once, in ascending label order so every class
+		// receives the same r.Split() stream on every run (map iteration
+		// order would shuffle the streams between runs); reuse for both
+		// privacy paths.
+		classGroups := make(map[int][]*stats.Group)
+		anon := &dataset.Dataset{Task: dataset.Classification, Attrs: train.Attrs, ClassNames: train.ClassNames}
+		byClass := train.ByClass()
+		for label := 0; label < train.NumClasses(); label++ {
+			idx := byClass[label]
+			if len(idx) == 0 {
+				continue
+			}
+			recs := make([]mat.Vector, len(idx))
+			for i, ri := range idx {
+				recs[i] = train.X[ri]
+			}
+			condenser, err := cfg.condenser(k, r.Split())
+			if err != nil {
+				return err
+			}
+			cond, err := condenser.Static(recs)
+			if err != nil {
+				return err
+			}
+			classGroups[label] = cond.Groups()
+			pts, err := cond.Synthesize(r.Split())
+			if err != nil {
+				return err
+			}
+			for _, x := range pts {
+				if err := anon.Append(x, label, 0); err != nil {
+					return err
+				}
+			}
+		}
+
+		clfD, err := nb.FromGroups(train.NumClasses(), classGroups)
+		if err != nil {
+			return err
+		}
+		accD, err := clfD.Accuracy(test)
+		if err != nil {
+			return err
+		}
+
+		clfS, err := nb.Train(anon)
+		if err != nil {
+			return err
+		}
+		accS, err := clfS.Accuracy(test)
+		if err != nil {
+			return err
+		}
+
+		cells[i] = cell{orig: accO, direct: accD, synth: accS}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ki, k := range cfg.GroupSizes {
+		var orig, direct, synth float64
+		for rep := 0; rep < reps; rep++ {
+			c := cells[ki*reps+rep]
+			orig += c.orig
+			direct += c.direct
+			synth += c.synth
+		}
+		n := float64(reps)
+		if err := t.AddRow(d(k), f(orig/n), f(direct/n), f(synth/n)); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"condensation/internal/par"
+	"condensation/internal/rng"
+)
+
+// The experiment drivers in this package all share one loop shape: a grid
+// of (group size × repetition) cells, each cell drawing its randomness
+// from one root.Split() stream. The cells are mutually independent, so
+// the engine pre-derives every cell's stream sequentially — in the exact
+// order the sequential loop would have drawn them — and then executes the
+// cells on a bounded worker pool, each writing its results into its own
+// index of a results slice. The reduction back into table rows runs
+// sequentially in cell order afterwards, so floating-point accumulation
+// order is preserved and the output is bit-identical for every
+// Parallelism setting. TestParallelEquivalence* prove this on every
+// figure and study.
+
+// presplit derives n child streams from root by calling Split in index
+// order — the per-cell streams the sequential loop would have drawn.
+func presplit(root *rng.Source, n int) []*rng.Source {
+	out := make([]*rng.Source, n)
+	for i := range out {
+		out[i] = root.Split()
+	}
+	return out
+}
+
+// workers resolves the Config's evaluation parallelism (< 1 means
+// runtime.NumCPU()).
+func (c Config) workers() int { return par.Workers(c.Parallelism) }
+
+// runCells fans n experiment cells out across the evaluation pool.
+func (c Config) runCells(n int, fn func(i int) error) error {
+	return par.Run(n, c.workers(), fn)
+}

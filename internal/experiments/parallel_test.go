@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"condensation/internal/dataset"
+)
+
+// withPar returns the fast test config with an explicit parallelism.
+func withPar(p int) Config {
+	cfg := fastConfig()
+	cfg.Parallelism = p
+	return cfg
+}
+
+// figureData picks a small data set of the task the panel's data set
+// implies (abalone is the regression panel).
+func figureData(fig Figure) *dataset.Dataset {
+	if fig.Dataset == "abalone" {
+		return smallRegression(40)
+	}
+	return smallClassification(40)
+}
+
+// TestParallelEquivalenceFigures is the tentpole's determinism proof for
+// the figure panels: every figure's table must be bit-identical between
+// the sequential path (Parallelism=1), an oversubscribed pool
+// (Parallelism=8 on any machine), and the NumCPU default (Parallelism=0).
+func TestParallelEquivalenceFigures(t *testing.T) {
+	for _, id := range FigureIDs() {
+		fig, err := LookupFigure(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := figureData(fig)
+		seq, err := RunFigureOn(fig, ds, withPar(1))
+		if err != nil {
+			t.Fatalf("%s sequential: %v", id, err)
+		}
+		for _, p := range []int{0, 8} {
+			got, err := RunFigureOn(fig, ds, withPar(p))
+			if err != nil {
+				t.Fatalf("%s parallelism %d: %v", id, p, err)
+			}
+			if !reflect.DeepEqual(seq, got) {
+				t.Errorf("figure %s: parallelism %d table differs from sequential\nseq: %v\ngot: %v",
+					id, p, seq.Rows, got.Rows)
+			}
+		}
+	}
+}
+
+// TestParallelEquivalenceStudies extends the proof to every study and
+// baseline driver in the package.
+func TestParallelEquivalenceStudies(t *testing.T) {
+	cls := smallClassification(42)
+	reg := smallRegression(43)
+	studies := []struct {
+		name string
+		run  func(cfg Config) (interface{}, error)
+	}{
+		{"SplitAxisAblation", func(cfg Config) (interface{}, error) { return SplitAxisAblation(cls, cfg) }},
+		{"SynthesisAblation", func(cfg Config) (interface{}, error) { return SynthesisAblation(cls, cfg) }},
+		{"LeftoverAblation", func(cfg Config) (interface{}, error) {
+			cfg.GroupSizes = []int{7} // leaves leftovers
+			return LeftoverAblation(cls, cfg)
+		}},
+		{"ClusteringStudy", func(cfg Config) (interface{}, error) { return ClusteringStudy(cls, 2, cfg) }},
+		{"CompatibilityOnly", func(cfg Config) (interface{}, error) { return CompatibilityOnly(cls, cfg, 0) }},
+		{"PerturbationComparison", func(cfg Config) (interface{}, error) {
+			return PerturbationComparison(cls, []float64{0.5}, cfg)
+		}},
+		{"KAnonymityComparison", func(cfg Config) (interface{}, error) { return KAnonymityComparison(cls, cfg) }},
+		{"AttackStudy", func(cfg Config) (interface{}, error) { return AttackStudy(cls, cfg) }},
+		{"TreeStudy", func(cfg Config) (interface{}, error) { return TreeStudy(cls, cfg) }},
+		{"AssociationStudy", func(cfg Config) (interface{}, error) {
+			return AssociationStudy(cls, 3, 0.2, 0.6, cfg)
+		}},
+		{"ScalingStudy", func(cfg Config) (interface{}, error) { return ScalingStudy(5, []int{60, 120}, cfg) }},
+		{"FidelityStudy", func(cfg Config) (interface{}, error) {
+			cfg.GroupSizes = []int{10}
+			return FidelityStudy("ecoli", cfg)
+		}},
+		{"NaiveBayesStudy", func(cfg Config) (interface{}, error) { return NaiveBayesStudy(cls, cfg) }},
+		{"LinRegStudy", func(cfg Config) (interface{}, error) { return LinRegStudy(reg, cfg) }},
+	}
+	for _, s := range studies {
+		seq, err := s.run(withPar(1))
+		if err != nil {
+			t.Fatalf("%s sequential: %v", s.name, err)
+		}
+		par, err := s.run(withPar(8))
+		if err != nil {
+			t.Fatalf("%s parallel: %v", s.name, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("%s: parallel result differs from sequential\nseq: %+v\npar: %+v", s.name, seq, par)
+		}
+	}
+}
+
+// TestNegativeParallelismRejected pins the config contract: negative
+// Parallelism is an explicit error, not a silent coercion like the other
+// Config fields.
+func TestNegativeParallelismRejected(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Parallelism = -1
+	if _, err := AccuracyCurve(smallClassification(44), cfg); err == nil || !strings.Contains(err.Error(), "Parallelism") {
+		t.Errorf("AccuracyCurve with Parallelism=-1: err = %v, want Parallelism error", err)
+	}
+	if _, err := ScalingStudy(5, []int{60}, cfg); err == nil {
+		t.Error("ScalingStudy accepted negative Parallelism")
+	}
+	if _, err := TreeStudy(smallClassification(44), cfg); err == nil {
+		t.Error("TreeStudy accepted negative Parallelism")
+	}
+}
+
+// TestParallelismZeroAndPositiveAccepted pins the documented defaulting:
+// 0 (use NumCPU) and explicit worker counts both pass validation.
+func TestParallelismZeroAndPositiveAccepted(t *testing.T) {
+	for _, p := range []int{0, 1, 8} {
+		cfg := withPar(p)
+		if err := cfg.fill(); err != nil {
+			t.Errorf("fill() with Parallelism=%d: %v", p, err)
+		}
+	}
+}
+
+// TestAccuracyCurveRace drives the full evaluation fan-out with an
+// oversubscribed pool; `go test -race` (run in CI) turns any unsynchronized
+// shared access in the cell workers into a failure.
+func TestAccuracyCurveRace(t *testing.T) {
+	if _, err := AccuracyCurve(smallClassification(45), withPar(8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompatibilityCurve(smallClassification(45), withPar(8)); err != nil {
+		t.Fatal(err)
+	}
+}

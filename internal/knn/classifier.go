@@ -5,16 +5,27 @@ import (
 
 	"condensation/internal/dataset"
 	"condensation/internal/mat"
+	"condensation/internal/par"
 )
+
+// predictParallelCutoff is the test-set size below which PredictAll stays
+// single-threaded: each prediction is a microsecond-scale tree query, so
+// fanning out a handful of them costs more than it saves.
+const predictParallelCutoff = 64
 
 // Classifier is a k-nearest-neighbour classifier. The paper uses the
 // simplest variant (1-NN: "the class label of the closest record ... is
 // used for the classification process"); K is configurable because the
 // evaluation also refers to a k-nearest-neighbour classifier.
+//
+// The fitted classifier is immutable and safe for concurrent use; only
+// SetParallelism mutates it and must happen before sharing.
 type Classifier struct {
-	k      int
-	tree   *KDTree
-	labels []int
+	k          int
+	tree       *KDTree
+	labels     []int
+	numClasses int
+	par        int
 }
 
 // NewClassifier fits a k-NN classifier on a classification data set. The
@@ -33,7 +44,48 @@ func NewClassifier(train *dataset.Dataset, k int) (*Classifier, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Classifier{k: k, tree: tree, labels: append([]int(nil), train.Labels...)}, nil
+	numClasses := 0
+	for _, l := range train.Labels {
+		if l+1 > numClasses {
+			numClasses = l + 1
+		}
+	}
+	return &Classifier{k: k, tree: tree, labels: append([]int(nil), train.Labels...), numClasses: numClasses}, nil
+}
+
+// SetParallelism bounds the worker goroutines PredictAll fans the test
+// sweep across; values < 1 (the default) mean runtime.NumCPU(). The tree
+// is read-only during prediction and every output slot is written by
+// exactly one worker, so the predictions are identical for every setting.
+func (c *Classifier) SetParallelism(p int) { c.par = p }
+
+// predictScratch holds one worker's reusable buffers: the vote counter
+// (indexed by class label — the per-call map this replaces dominated the
+// allocation profile) and the neighbour buffer for the tree query.
+type predictScratch struct {
+	votes []int
+	nbrs  []Neighbor
+}
+
+// predictInto classifies one record using the worker's scratch buffers.
+func (c *Classifier) predictInto(x mat.Vector, s *predictScratch) (int, error) {
+	nbrs, err := c.tree.NearestInto(x, c.k, s.nbrs)
+	if err != nil {
+		return 0, err
+	}
+	s.nbrs = nbrs
+	for i := range s.votes {
+		s.votes[i] = 0
+	}
+	best, bestVotes := c.labels[nbrs[0].Index], 0
+	for _, nb := range nbrs {
+		l := c.labels[nb.Index]
+		s.votes[l]++
+		if s.votes[l] > bestVotes {
+			best, bestVotes = l, s.votes[l]
+		}
+	}
+	return best, nil
 }
 
 // Predict returns the majority class among the k nearest training records.
@@ -41,32 +93,34 @@ func NewClassifier(train *dataset.Dataset, k int) (*Classifier, error) {
 // encountered in ascending-distance order), which makes 1-NN behaviour a
 // strict special case.
 func (c *Classifier) Predict(x mat.Vector) (int, error) {
-	nbrs, err := c.tree.Nearest(x, c.k)
-	if err != nil {
-		return 0, err
-	}
-	votes := make(map[int]int, c.k)
-	best, bestVotes := c.labels[nbrs[0].Index], 0
-	for _, nb := range nbrs {
-		l := c.labels[nb.Index]
-		votes[l]++
-		if votes[l] > bestVotes {
-			best, bestVotes = l, votes[l]
-		}
-	}
-	return best, nil
+	s := predictScratch{votes: make([]int, c.numClasses)}
+	return c.predictInto(x, &s)
 }
 
 // PredictAll classifies every record of a data set, returning the
-// predicted labels in order.
+// predicted labels in order. The sweep is chunked across the configured
+// parallelism (SetParallelism); each worker reuses one scratch counter
+// and neighbour buffer across its whole chunk, so the per-prediction
+// allocation cost of the sequential path is gone too.
 func (c *Classifier) PredictAll(test *dataset.Dataset) ([]int, error) {
 	out := make([]int, test.Len())
-	for i, x := range test.X {
-		l, err := c.Predict(x)
-		if err != nil {
-			return nil, fmt.Errorf("knn: record %d: %w", i, err)
+	workers := par.Workers(c.par)
+	if len(test.X) < predictParallelCutoff {
+		workers = 1
+	}
+	err := par.RunChunks(len(test.X), workers, func(lo, hi int) error {
+		s := predictScratch{votes: make([]int, c.numClasses)}
+		for i := lo; i < hi; i++ {
+			l, err := c.predictInto(test.X[i], &s)
+			if err != nil {
+				return fmt.Errorf("knn: record %d: %w", i, err)
+			}
+			out[i] = l
 		}
-		out[i] = l
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -79,6 +133,7 @@ type Regressor struct {
 	k       int
 	tree    *KDTree
 	targets []float64
+	par     int
 }
 
 // NewRegressor fits a k-NN regressor on a regression data set.
@@ -99,28 +154,53 @@ func NewRegressor(train *dataset.Dataset, k int) (*Regressor, error) {
 	return &Regressor{k: k, tree: tree, targets: append([]float64(nil), train.Targets...)}, nil
 }
 
-// Predict returns the mean target of the k nearest training records.
-func (r *Regressor) Predict(x mat.Vector) (float64, error) {
-	nbrs, err := r.tree.Nearest(x, r.k)
+// SetParallelism bounds the worker goroutines PredictAll fans the test
+// sweep across; values < 1 (the default) mean runtime.NumCPU().
+func (r *Regressor) SetParallelism(p int) { r.par = p }
+
+// predictInto predicts one record reusing the given neighbour buffer.
+func (r *Regressor) predictInto(x mat.Vector, nbrs []Neighbor) (float64, []Neighbor, error) {
+	nbrs, err := r.tree.NearestInto(x, r.k, nbrs)
 	if err != nil {
-		return 0, err
+		return 0, nbrs, err
 	}
 	var sum float64
 	for _, nb := range nbrs {
 		sum += r.targets[nb.Index]
 	}
-	return sum / float64(len(nbrs)), nil
+	return sum / float64(len(nbrs)), nbrs, nil
 }
 
-// PredictAll predicts every record of a data set, in order.
+// Predict returns the mean target of the k nearest training records.
+func (r *Regressor) Predict(x mat.Vector) (float64, error) {
+	y, _, err := r.predictInto(x, nil)
+	return y, err
+}
+
+// PredictAll predicts every record of a data set, in order. Like the
+// classifier's sweep, it is chunked across the configured parallelism
+// with a per-worker neighbour buffer, and its output is identical for
+// every worker count.
 func (r *Regressor) PredictAll(test *dataset.Dataset) ([]float64, error) {
 	out := make([]float64, test.Len())
-	for i, x := range test.X {
-		y, err := r.Predict(x)
-		if err != nil {
-			return nil, fmt.Errorf("knn: record %d: %w", i, err)
+	workers := par.Workers(r.par)
+	if len(test.X) < predictParallelCutoff {
+		workers = 1
+	}
+	err := par.RunChunks(len(test.X), workers, func(lo, hi int) error {
+		var nbrs []Neighbor
+		for i := lo; i < hi; i++ {
+			y, buf, err := r.predictInto(test.X[i], nbrs)
+			if err != nil {
+				return fmt.Errorf("knn: record %d: %w", i, err)
+			}
+			nbrs = buf
+			out[i] = y
 		}
-		out[i] = y
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

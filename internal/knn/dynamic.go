@@ -1,7 +1,6 @@
 package knn
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -151,17 +150,10 @@ func (t *DynamicKDTree) NearestAlive(query mat.Vector, k int) ([]Neighbor, error
 	if k > t.alive {
 		k = t.alive
 	}
-	h := make(neighborHeap, 0, k+1)
+	h := make(neighborHeap, 0, k)
 	t.search(t.root, query, k, &h)
-	out := make([]Neighbor, len(h))
-	copy(out, h)
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].DistSq != out[b].DistSq {
-			return out[a].DistSq < out[b].DistSq
-		}
-		return out[a].Index < out[b].Index
-	})
-	return out, nil
+	sortNeighbors(h)
+	return h, nil
 }
 
 // search walks the tree, skipping tombstoned nodes as candidates, pruning
@@ -174,11 +166,10 @@ func (t *DynamicKDTree) search(node *dynNode, query mat.Vector, k int, h *neighb
 	p := t.points[node.idx]
 	if !node.dead {
 		d := query.DistSq(p)
-		if h.Len() < k {
-			heap.Push(h, Neighbor{Index: node.idx, DistSq: d})
+		if len(*h) < k {
+			h.push(Neighbor{Index: node.idx, DistSq: d})
 		} else if d < (*h)[0].DistSq {
-			(*h)[0] = Neighbor{Index: node.idx, DistSq: d}
-			heap.Fix(h, 0)
+			h.replaceRoot(Neighbor{Index: node.idx, DistSq: d})
 		}
 	}
 	diff := query[node.axis] - p[node.axis]
@@ -187,7 +178,7 @@ func (t *DynamicKDTree) search(node *dynNode, query mat.Vector, k int, h *neighb
 		near, far = far, near
 	}
 	t.search(near, query, k, h)
-	if h.Len() < k || diff*diff < (*h)[0].DistSq {
+	if len(*h) < k || diff*diff < (*h)[0].DistSq {
 		t.search(far, query, k, h)
 	}
 }

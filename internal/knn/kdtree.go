@@ -9,7 +9,6 @@
 package knn
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -88,25 +87,76 @@ type Neighbor struct {
 }
 
 // neighborHeap is a max-heap on DistSq, so the current worst of the best-k
-// sits at the root and can be evicted in O(log k).
+// sits at the root and can be evicted in O(log k). The sift operations are
+// hand-rolled rather than going through container/heap, whose interface
+// methods box one Neighbor per push — a per-visited-node allocation in
+// what is the innermost loop of every experiment.
 type neighborHeap []Neighbor
 
-func (h neighborHeap) Len() int            { return len(h) }
-func (h neighborHeap) Less(i, j int) bool  { return h[i].DistSq > h[j].DistSq }
-func (h neighborHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *neighborHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
-func (h *neighborHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// push appends x and restores the heap invariant (sift up).
+func (h *neighborHeap) push(x Neighbor) {
+	*h = append(*h, x)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].DistSq >= s[i].DistSq {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+// replaceRoot overwrites the current worst neighbour and restores the
+// invariant (sift down).
+func (h neighborHeap) replaceRoot(x Neighbor) {
+	h[0] = x
+	i := 0
+	for {
+		largest := i
+		if l := 2*i + 1; l < len(h) && h[l].DistSq > h[largest].DistSq {
+			largest = l
+		}
+		if r := 2*i + 2; r < len(h) && h[r].DistSq > h[largest].DistSq {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h[i], h[largest] = h[largest], h[i]
+		i = largest
+	}
+}
+
+// sortNeighbors orders results by ascending distance, breaking exact ties
+// by training index so the ordering is deterministic. Insertion sort: k is
+// small and, unlike sort.Slice, it allocates nothing.
+func sortNeighbors(ns []Neighbor) {
+	for i := 1; i < len(ns); i++ {
+		x := ns[i]
+		j := i - 1
+		for j >= 0 && (ns[j].DistSq > x.DistSq || (ns[j].DistSq == x.DistSq && ns[j].Index > x.Index)) {
+			ns[j+1] = ns[j]
+			j--
+		}
+		ns[j+1] = x
+	}
 }
 
 // Nearest returns the k nearest indexed points to the query, ordered by
 // ascending distance. If fewer than k points are indexed, all are
 // returned.
 func (t *KDTree) Nearest(query mat.Vector, k int) ([]Neighbor, error) {
+	return t.NearestInto(query, k, nil)
+}
+
+// NearestInto is Nearest with a caller-provided buffer: the result reuses
+// buf's backing array when it has capacity, so a caller sweeping many
+// queries (one scratch buffer per worker) performs no per-query
+// allocation. buf's contents are overwritten; pass the previous return
+// value on the next call.
+func (t *KDTree) NearestInto(query mat.Vector, k int, buf []Neighbor) ([]Neighbor, error) {
 	if len(query) != t.dim {
 		return nil, fmt.Errorf("knn: query dimension %d, index dimension %d", len(query), t.dim)
 	}
@@ -116,12 +166,10 @@ func (t *KDTree) Nearest(query mat.Vector, k int) ([]Neighbor, error) {
 	if k > len(t.points) {
 		k = len(t.points)
 	}
-	h := make(neighborHeap, 0, k+1)
+	h := neighborHeap(buf[:0])
 	t.search(t.root, query, k, &h)
-	out := make([]Neighbor, len(h))
-	copy(out, h)
-	sort.Slice(out, func(a, b int) bool { return out[a].DistSq < out[b].DistSq })
-	return out, nil
+	sortNeighbors(h)
+	return h, nil
 }
 
 // search walks the tree, pruning subtrees whose bounding half-space cannot
@@ -132,11 +180,10 @@ func (t *KDTree) search(node *kdNode, query mat.Vector, k int, h *neighborHeap) 
 	}
 	p := t.points[node.idx]
 	d := query.DistSq(p)
-	if h.Len() < k {
-		heap.Push(h, Neighbor{Index: node.idx, DistSq: d})
+	if len(*h) < k {
+		h.push(Neighbor{Index: node.idx, DistSq: d})
 	} else if d < (*h)[0].DistSq {
-		(*h)[0] = Neighbor{Index: node.idx, DistSq: d}
-		heap.Fix(h, 0)
+		h.replaceRoot(Neighbor{Index: node.idx, DistSq: d})
 	}
 
 	diff := query[node.axis] - p[node.axis]
@@ -147,7 +194,7 @@ func (t *KDTree) search(node *kdNode, query mat.Vector, k int, h *neighborHeap) 
 	t.search(near, query, k, h)
 	// Visit the far side only if the splitting plane is closer than the
 	// current k-th best distance (or the heap is not yet full).
-	if h.Len() < k || diff*diff < (*h)[0].DistSq {
+	if len(*h) < k || diff*diff < (*h)[0].DistSq {
 		t.search(far, query, k, h)
 	}
 }
@@ -168,18 +215,15 @@ func BruteNearest(points []mat.Vector, query mat.Vector, k int) ([]Neighbor, err
 	if k > len(points) {
 		k = len(points)
 	}
-	h := make(neighborHeap, 0, k+1)
+	h := make(neighborHeap, 0, k)
 	for i, p := range points {
 		d := query.DistSq(p)
-		if h.Len() < k {
-			heap.Push(&h, Neighbor{Index: i, DistSq: d})
+		if len(h) < k {
+			h.push(Neighbor{Index: i, DistSq: d})
 		} else if d < h[0].DistSq {
-			h[0] = Neighbor{Index: i, DistSq: d}
-			heap.Fix(&h, 0)
+			h.replaceRoot(Neighbor{Index: i, DistSq: d})
 		}
 	}
-	out := make([]Neighbor, len(h))
-	copy(out, h)
-	sort.Slice(out, func(a, b int) bool { return out[a].DistSq < out[b].DistSq })
-	return out, nil
+	sortNeighbors(h)
+	return h, nil
 }

@@ -1,0 +1,128 @@
+package knn
+
+import (
+	"reflect"
+	"testing"
+
+	"condensation/internal/dataset"
+	"condensation/internal/rng"
+)
+
+// regressionData draws a 1-D noisy linear regression set.
+func regressionData(seed uint64, n int) *dataset.Dataset {
+	r := rng.New(seed)
+	ds := &dataset.Dataset{Task: dataset.Regression, Attrs: []string{"x", "y"}}
+	for i := 0; i < n; i++ {
+		x := r.Uniform(0, 10)
+		ds.X = append(ds.X, []float64{x, x + r.Norm()})
+		ds.Targets = append(ds.Targets, 2*x)
+	}
+	return ds
+}
+
+// TestPredictAllParallelEquivalence proves the sweep determinism: the
+// chunked parallel sweep must return exactly what a per-point Predict
+// loop returns, at every worker count, above and below the parallel
+// cutoff.
+func TestPredictAllParallelEquivalence(t *testing.T) {
+	train := twoClassData(50, 100)
+	for _, n := range []int{predictParallelCutoff / 2, 4 * predictParallelCutoff} {
+		test := twoClassData(51, n/2)
+		clf, err := NewClassifier(train, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]int, test.Len())
+		for i, x := range test.X {
+			if want[i], err = clf.Predict(x); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, p := range []int{0, 1, 2, 8} {
+			clf.SetParallelism(p)
+			got, err := clf.PredictAll(test)
+			if err != nil {
+				t.Fatalf("parallelism %d: %v", p, err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("n=%d parallelism %d: PredictAll differs from Predict loop", test.Len(), p)
+			}
+		}
+	}
+}
+
+// TestRegressorPredictAllParallelEquivalence is the regression-side twin.
+func TestRegressorPredictAllParallelEquivalence(t *testing.T) {
+	train := regressionData(52, 150)
+	test := regressionData(53, 3*predictParallelCutoff)
+	reg, err := NewRegressor(train, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, test.Len())
+	for i, x := range test.X {
+		if want[i], err = reg.Predict(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range []int{0, 1, 8} {
+		reg.SetParallelism(p)
+		got, err := reg.PredictAll(test)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("parallelism %d: PredictAll differs from Predict loop", p)
+		}
+	}
+}
+
+// TestPredictAllScratchReuse pins the allocation fix: a sequential
+// PredictAll sweep must not allocate per prediction beyond the output
+// slice — the vote counter and neighbour buffer are reused across the
+// whole chunk.
+func TestPredictAllScratchReuse(t *testing.T) {
+	train := twoClassData(54, 200)
+	test := twoClassData(55, 2*predictParallelCutoff)
+	clf, err := NewClassifier(train, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf.SetParallelism(1)
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := clf.PredictAll(test); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Output slice + one scratch (votes + first neighbour buffer growth)
+	// per sweep; generous bound far below one alloc per prediction.
+	if avg > 16 {
+		t.Errorf("PredictAll allocates %.0f times per sweep of %d predictions; scratch is not being reused",
+			avg, test.Len())
+	}
+}
+
+// TestNearestIntoReusesBuffer pins the buffer contract of the KD-tree
+// query used by the sweeps.
+func TestNearestIntoReusesBuffer(t *testing.T) {
+	train := twoClassData(56, 80)
+	tree, err := NewKDTree(train.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tree.Nearest(train.X[3], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]Neighbor, 0, 8)
+	got, err := tree.NearestInto(train.X[3], 5, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("NearestInto = %v, want %v", got, want)
+	}
+	if cap(buf) >= 6 && &buf[:1][0] != &got[:1][0] {
+		t.Error("NearestInto did not reuse the provided buffer")
+	}
+}

@@ -1,0 +1,111 @@
+// Package par is the deterministic fan-out primitive behind the parallel
+// evaluation engine: run n independent, index-addressed tasks on a bounded
+// worker pool.
+//
+// Determinism is a two-sided contract. The caller guarantees that task i
+// writes only to slot i of its output storage and draws randomness only
+// from a stream pre-derived for that index, so the results are identical
+// for every worker count. The package guarantees that the error returned
+// is the one a sequential loop would have surfaced: the failure with the
+// lowest index.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism knob to an effective worker count:
+// values < 1 mean runtime.NumCPU().
+func Workers(p int) int {
+	if p < 1 {
+		return runtime.NumCPU()
+	}
+	return p
+}
+
+// Run executes fn(0), ..., fn(n-1) on at most workers goroutines, handing
+// out indices dynamically so heterogeneous task costs balance. With
+// workers <= 1 it degenerates to the plain sequential loop (stopping at
+// the first error); otherwise every task runs and the lowest-index error
+// is returned, which is the same error the sequential loop reports.
+func Run(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return first(errs)
+}
+
+// RunChunks splits [0, n) into at most workers contiguous chunks and runs
+// fn(lo, hi) for each on its own goroutine — for sweeps whose per-item
+// cost is too small to schedule individually and whose workers carry
+// per-chunk scratch state. With workers <= 1 it is fn(0, n).
+func RunChunks(n, workers int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return fn(0, n)
+	}
+	chunk := (n + workers - 1) / workers
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	slot := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(slot, lo, hi int) {
+			defer wg.Done()
+			errs[slot] = fn(lo, hi)
+		}(slot, lo, hi)
+		slot++
+	}
+	wg.Wait()
+	return first(errs)
+}
+
+// first returns the lowest-index non-nil error.
+func first(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
