@@ -26,10 +26,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 
 	"condensation/internal/core"
 	"condensation/internal/dataset"
+	"condensation/internal/telemetry"
 )
 
 func main() {
@@ -54,8 +56,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		search    = fs.String("search", "auto", "static neighbour search: auto, scan-sort, quickselect, or kdtree")
 		par       = fs.Int("par", 0, "static distance-sweep parallelism (0 = all CPUs)")
 		stats     = fs.String("stats", "", "optional file to write the per-class condensation statistics (the paper's H sets) to")
+		logLevel  = fs.String("log-level", "warn", "log level: debug, info, warn, error, or off")
+		logFormat = fs.String("log-format", "text", "log format: text or json")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	log, err := telemetry.NewLogger(stderr, *logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 	if *in == "" || *out == "" {
@@ -119,11 +127,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	log.Debug("read input",
+		slog.String("file", *in),
+		slog.Int("records", ds.Len()),
+		slog.Int("dim", ds.Dim()))
 
 	anon, report, err := condenser.Anonymize(ds)
 	if err != nil {
 		return err
 	}
+	log.Debug("condensed",
+		slog.Int("groups", report.TotalGroups()),
+		slog.Float64("avg_group_size", report.AvgGroupSize()))
 
 	if *stats != "" {
 		byClass := make(map[int]*core.Condensation, len(report.Classes))

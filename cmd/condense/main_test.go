@@ -90,6 +90,8 @@ func TestRunFlagErrors(t *testing.T) {
 		{"-in", in, "-out", "x.csv", "-mode", "bogus"},
 		{"-in", in, "-out", "x.csv", "-synthesis", "bogus"},
 		{"-in", "/nonexistent/file.csv", "-out", "x.csv"},
+		{"-in", in, "-out", "x.csv", "-log-level", "bogus"},
+		{"-in", in, "-out", "x.csv", "-log-format", "bogus"},
 	}
 	for _, args := range cases {
 		o, e := silent()

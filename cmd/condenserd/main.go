@@ -7,21 +7,27 @@
 //
 //	condenserd -addr :8080 -dim 7 -k 25
 //	condenserd -addr :8080 -resume checkpoint.bin
+//	condenserd -addr :8080 -dim 7 -debug-addr localhost:6060
 //
 // Endpoints: POST /v1/records, GET /v1/snapshot, GET /v1/stats,
-// GET /v1/checkpoint, GET /healthz (see internal/server).
+// GET /v1/checkpoint, GET /healthz, GET /metrics, GET /debug/vars
+// (see internal/server). With -debug-addr set, net/http/pprof profiling
+// endpoints are served on that separate (ideally loopback-only) address.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
 	"condensation/internal/core"
 	"condensation/internal/server"
+	"condensation/internal/telemetry"
 )
 
 func main() {
@@ -44,18 +50,26 @@ func run(args []string, stderr io.Writer, serve func(addr string, h http.Handler
 	fs := flag.NewFlagSet("condenserd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr   = fs.String("addr", ":8080", "listen address")
-		dim    = fs.Int("dim", 0, "record dimensionality (required unless -resume)")
-		k      = fs.Int("k", 10, "indistinguishability level")
-		seed   = fs.Uint64("seed", 1, "random seed for split-axis decisions")
-		batch  = fs.Int("batch", 10000, "maximum records per POST")
-		resume = fs.String("resume", "", "checkpoint file to restore state from")
+		addr      = fs.String("addr", ":8080", "listen address")
+		dim       = fs.Int("dim", 0, "record dimensionality (required unless -resume)")
+		k         = fs.Int("k", 10, "indistinguishability level")
+		seed      = fs.Uint64("seed", 1, "random seed for split-axis decisions")
+		batch     = fs.Int("batch", 10000, "maximum records per POST")
+		resume    = fs.String("resume", "", "checkpoint file to restore state from")
+		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn, error, or off")
+		logFormat = fs.String("log-format", "text", "log format: text or json")
+		debugAddr = fs.String("debug-addr", "", "optional separate listen address for net/http/pprof (keep it loopback-only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	log, err := telemetry.NewLogger(stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	reg := telemetry.NewRegistry()
 
-	cfg := server.Config{Dim: *dim, MaxBatch: *batch}
+	cfg := server.Config{Dim: *dim, MaxBatch: *batch, Telemetry: reg, Logger: log}
 	condenserK, condenserOpts := *k, core.Options{}
 	if *resume != "" {
 		f, err := os.Open(*resume)
@@ -70,14 +84,19 @@ func run(args []string, stderr io.Writer, serve func(addr string, h http.Handler
 		cfg.Initial = cond
 		// The checkpoint's k and options are authoritative when resuming.
 		condenserK, condenserOpts = cond.K(), cond.Options()
-		fmt.Fprintf(stderr, "restored %d records in %d groups (k=%d, dim=%d) from %s\n",
-			cond.TotalCount(), cond.NumGroups(), cond.K(), cond.Dim(), *resume)
+		log.Info("restored checkpoint",
+			slog.String("file", *resume),
+			slog.Int("records", cond.TotalCount()),
+			slog.Int("groups", cond.NumGroups()),
+			slog.Int("k", cond.K()),
+			slog.Int("dim", cond.Dim()))
 	} else if *dim < 1 {
 		fs.Usage()
 		return fmt.Errorf("-dim is required when not resuming from a checkpoint")
 	}
 	condenser, err := core.NewCondenser(condenserK,
-		core.WithSeed(*seed), core.WithOptions(condenserOpts))
+		core.WithSeed(*seed), core.WithOptions(condenserOpts),
+		core.WithTelemetry(reg))
 	if err != nil {
 		return err
 	}
@@ -87,6 +106,30 @@ func run(args []string, stderr io.Writer, serve func(addr string, h http.Handler
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "condenserd listening on %s\n", *addr)
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr, log)
+	}
+	log.Info("condenserd listening", slog.String("addr", *addr))
 	return serve(*addr, s)
+}
+
+// serveDebug exposes the net/http/pprof profiling handlers on their own
+// address, so profiling never shares a listener with the data-collection
+// API and stays off unless explicitly requested.
+func serveDebug(addr string, log *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Info("pprof listening", slog.String("addr", addr))
+	if err := srv.ListenAndServe(); err != nil {
+		log.Error("pprof server stopped", slog.String("error", err.Error()))
+	}
 }

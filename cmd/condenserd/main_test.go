@@ -3,10 +3,12 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"condensation/internal/core"
@@ -108,5 +110,51 @@ func TestRunResumeCorruptCheckpoint(t *testing.T) {
 	}
 	if _, err := capture(t, []string{"-resume", path}); err == nil {
 		t.Error("corrupt checkpoint accepted")
+	}
+}
+
+func TestRunMetricsWired(t *testing.T) {
+	h, err := capture(t, []string{"-dim", "2", "-k", "3", "-log-level", "off"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/records", "application/json",
+		bytes.NewReader([]byte(`{"records":[[1,2],[3,4],[5,6],[7,8]]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"http_request_seconds_bucket",
+		"condense_stream_records_total 4",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestRunBadLogFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-dim", "2", "-log-level", "chatty"},
+		{"-dim", "2", "-log-format", "xml"},
+	} {
+		if _, err := capture(t, args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
 	}
 }

@@ -11,11 +11,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 
 	"condensation/internal/datagen"
 	"condensation/internal/dataset"
+	"condensation/internal/telemetry"
 )
 
 func main() {
@@ -29,11 +31,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		name = fs.String("name", "", "data set: ionosphere, ecoli, pima, abalone, or all")
-		seed = fs.Uint64("seed", 1, "random seed")
-		out  = fs.String("out", "-", "output CSV file, directory (with -name all), or \"-\" for stdout")
+		name      = fs.String("name", "", "data set: ionosphere, ecoli, pima, abalone, or all")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		out       = fs.String("out", "-", "output CSV file, directory (with -name all), or \"-\" for stdout")
+		logLevel  = fs.String("log-level", "warn", "log level: debug, info, warn, error, or off")
+		logFormat = fs.String("log-format", "text", "log format: text or json")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	log, err := telemetry.NewLogger(stderr, *logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 	if *name == "" {
@@ -50,7 +58,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			if err := writeOne(n, *seed, path, stdout); err != nil {
 				return err
 			}
-			fmt.Fprintf(stderr, "wrote %s\n", path)
+			log.Info("wrote data set", slog.String("file", path))
 		}
 		return nil
 	}

@@ -24,6 +24,7 @@ import (
 	"condensation/internal/core"
 	"condensation/internal/datagen"
 	"condensation/internal/experiments"
+	"condensation/internal/telemetry"
 )
 
 func main() {
@@ -48,8 +49,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		initial = fs.Float64("initial", 0.25, "dynamic mode: initial static fraction")
 		search  = fs.String("search", "auto", "static neighbour search: auto, scan-sort, quickselect, or kdtree")
 		par     = fs.Int("par", 0, "worker goroutines for experiment cells, synthesis, and classifier scoring (0 = all CPUs; results are identical for every setting)")
+
+		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn, error, or off")
+		logFormat = fs.String("log-format", "text", "log format: text or json")
+		logEvery  = fs.Int("log-every", 0, "progress cadence in completed experiment cells (0 = a tenth of the grid)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	log, err := telemetry.NewLogger(stderr, *logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 	if (*fig == "") == (*study == "") {
@@ -68,6 +77,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		InitialFraction: *initial,
 		Search:          searchBackend,
 		Parallelism:     *par,
+		Logger:          log,
+		LogEvery:        *logEvery,
 	}
 	if *sizes != "" {
 		parsed, err := parseSizes(*sizes)

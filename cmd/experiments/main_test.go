@@ -67,6 +67,8 @@ func TestRunErrors(t *testing.T) {
 		{"-fig", "6b", "-sizes", "zero"}, // bad sizes
 		{"-fig", "6b", "-sizes", "-3"},   // negative size
 		{"-fig", "6b", "-sizes", "5", "-reps", "1", "-format", "bogus"},
+		{"-fig", "6b", "-log-level", "bogus"},
+		{"-fig", "6b", "-log-format", "bogus"},
 	}
 	for _, args := range cases {
 		if err := run(args, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {

@@ -7,6 +7,7 @@ import (
 	"condensation/internal/dataset"
 	"condensation/internal/mat"
 	"condensation/internal/rng"
+	"condensation/internal/telemetry"
 )
 
 // Mode selects between the paper's two group-construction regimes.
@@ -52,6 +53,10 @@ type AnonymizeConfig struct {
 	// Parallelism bounds the static distance sweep's worker goroutines;
 	// values < 1 mean runtime.NumCPU().
 	Parallelism int
+	// Telemetry optionally records stage timings and group counters into a
+	// metrics registry. Nil disables recording; the anonymized output is
+	// bit-identical either way.
+	Telemetry *telemetry.Registry
 }
 
 // ClassReport describes the condensation of one class (or of the whole
@@ -219,7 +224,7 @@ func condenseRecords(recs []mat.Vector, cfg AnonymizeConfig, r *rng.Source) (*Co
 	search := searchConfig{Search: cfg.Search, Parallelism: cfg.Parallelism}
 	switch cfg.Mode {
 	case ModeStatic:
-		cond, _, err := staticCondense(recs, cfg.K, r, cfg.Options, search)
+		cond, _, err := staticCondense(recs, cfg.K, r, cfg.Options, search, cfg.Telemetry)
 		return cond, err
 	case ModeDynamic:
 		frac := cfg.InitialFraction
@@ -235,7 +240,7 @@ func condenseRecords(recs []mat.Vector, cfg AnonymizeConfig, r *rng.Source) (*Co
 		if initial > len(recs) {
 			initial = len(recs)
 		}
-		base, _, err := staticCondense(recs[:initial], cfg.K, r, cfg.Options, search)
+		base, _, err := staticCondense(recs[:initial], cfg.K, r, cfg.Options, search, cfg.Telemetry)
 		if err != nil {
 			return nil, err
 		}
@@ -243,6 +248,7 @@ func condenseRecords(recs []mat.Vector, cfg AnonymizeConfig, r *rng.Source) (*Co
 		if err != nil {
 			return nil, err
 		}
+		dyn.SetTelemetry(cfg.Telemetry)
 		if err := dyn.AddAll(recs[initial:]); err != nil {
 			return nil, err
 		}

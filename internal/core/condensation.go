@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"condensation/internal/mat"
 	"condensation/internal/par"
 	"condensation/internal/rng"
 	"condensation/internal/stats"
+	"condensation/internal/telemetry"
 )
 
 // Condensation is the output of condensing a set of records: the set H of
@@ -23,6 +25,9 @@ type Condensation struct {
 	// identical for every setting, so it lives outside Options (which is
 	// serialized into checkpoints).
 	par int
+	// met records stage timings during synthesis. Like par it is
+	// observe-only and lives outside Options; the zero value is disabled.
+	met engineMetrics
 }
 
 // newCondensation wraps a set of groups. The groups are owned by the
@@ -36,6 +41,12 @@ func newCondensation(dim, k int, opts Options, groups []*stats.Group) *Condensat
 // runtime.NumCPU(). Each group draws from its own pre-derived rng stream,
 // so the synthesized records are bit-identical for every setting.
 func (c *Condensation) SetParallelism(p int) { c.par = p }
+
+// SetTelemetry attaches a metrics registry: Synthesize and
+// SynthesizeGrouped then record per-group eigendecomposition and
+// regeneration timings. A nil registry disables recording. Telemetry is
+// observe-only; the synthesized records are bit-identical either way.
+func (c *Condensation) SetTelemetry(reg *telemetry.Registry) { c.met = newEngineMetrics(reg) }
 
 // Dim returns the attribute dimensionality.
 func (c *Condensation) Dim() int { return c.dim }
@@ -148,7 +159,7 @@ func (c *Condensation) SynthesizeGrouped(r *rng.Source) ([][]mat.Vector, error) 
 	}
 	out := make([][]mat.Vector, len(c.groups))
 	err := par.Run(len(c.groups), par.Workers(c.par), func(gi int) error {
-		pts, err := synthesizeGroup(c.groups[gi], c.opts.Synthesis, srcs[gi])
+		pts, err := synthesizeGroup(c.groups[gi], c.opts.Synthesis, srcs[gi], c.met)
 		if err != nil {
 			return fmt.Errorf("core: group %d: %w", gi, err)
 		}
@@ -162,14 +173,22 @@ func (c *Condensation) SynthesizeGrouped(r *rng.Source) ([][]mat.Vector, error) 
 }
 
 // synthesizeGroup draws n(G) anonymized points from one group's statistics.
-func synthesizeGroup(g *stats.Group, mode Synthesis, r *rng.Source) ([]mat.Vector, error) {
+func synthesizeGroup(g *stats.Group, mode Synthesis, r *rng.Source, met engineMetrics) ([]mat.Vector, error) {
 	mean, err := g.Mean()
 	if err != nil {
 		return nil, err
 	}
+	var t0 time.Time
+	if met.enabled {
+		t0 = time.Now()
+	}
 	eig, err := g.Eigen()
 	if err != nil {
 		return nil, err
+	}
+	if met.enabled {
+		met.eigen.ObserveSince(t0)
+		t0 = time.Now()
 	}
 	d := g.Dim()
 	// Pre-compute the per-axis half-ranges (uniform) or standard
@@ -201,6 +220,9 @@ func synthesizeGroup(g *stats.Group, mode Synthesis, r *rng.Source) ([]mat.Vecto
 		x.AddScaled(1, eig.Vectors.MulVec(coord))
 		pts[i] = x
 	}
+	if met.enabled {
+		met.synth.ObserveSince(t0)
+	}
 	return pts, nil
 }
 
@@ -231,5 +253,6 @@ func Merge(conds ...*Condensation) (*Condensation, error) {
 	}
 	merged := newCondensation(dim, k, conds[0].opts, groups)
 	merged.par = conds[0].par
+	merged.met = conds[0].met
 	return merged, nil
 }

@@ -7,6 +7,7 @@ import (
 	"condensation/internal/dataset"
 	"condensation/internal/mat"
 	"condensation/internal/rng"
+	"condensation/internal/telemetry"
 )
 
 // Condenser is the package's front door: one configured entry point for
@@ -37,6 +38,7 @@ type Condenser struct {
 	search  searchConfig
 	mode    Mode
 	initial float64
+	tel     *telemetry.Registry // nil means telemetry disabled
 }
 
 // CondenserOption configures a Condenser.
@@ -145,7 +147,7 @@ func (c *Condenser) rng() *rng.Source {
 // Static condenses the records into groups of at least k (Figure 1) using
 // the configured neighbour-search backend and parallelism.
 func (c *Condenser) Static(records []mat.Vector) (*Condensation, error) {
-	cond, _, err := staticCondense(records, c.k, c.rng(), c.opts, c.search)
+	cond, _, err := staticCondense(records, c.k, c.rng(), c.opts, c.search, c.tel)
 	return cond, err
 }
 
@@ -153,14 +155,19 @@ func (c *Condenser) Static(records []mat.Vector) (*Condensation, error) {
 // records each group condensed — for privacy evaluation and tests only;
 // membership must never leave the trusted collection boundary.
 func (c *Condenser) StaticWithMembers(records []mat.Vector) (*Condensation, [][]int, error) {
-	return staticCondense(records, c.k, c.rng(), c.opts, c.search)
+	return staticCondense(records, c.k, c.rng(), c.opts, c.search, c.tel)
 }
 
 // Dynamic returns an empty dynamic condenser (Figure 2) over records of
 // the given dimensionality, for pure-stream deployments with no initial
 // database.
 func (c *Condenser) Dynamic(dim int) (*Dynamic, error) {
-	return NewDynamicEmpty(dim, c.k, c.opts, c.rng())
+	d, err := NewDynamicEmpty(dim, c.k, c.opts, c.rng())
+	if err != nil {
+		return nil, err
+	}
+	d.SetTelemetry(c.tel)
+	return d, nil
 }
 
 // DynamicFrom returns a dynamic condenser seeded from an existing
@@ -177,6 +184,7 @@ func (c *Condenser) DynamicFrom(initial *Condensation) (*Dynamic, error) {
 	}
 	d.k = c.k
 	d.opts = c.opts
+	d.SetTelemetry(c.tel)
 	return d, nil
 }
 
@@ -185,11 +193,16 @@ func (c *Condenser) DynamicFrom(initial *Condensation) (*Dynamic, error) {
 // one call.
 func (c *Condenser) Bootstrap(initial []mat.Vector) (*Dynamic, error) {
 	r := c.rng()
-	cond, _, err := staticCondense(initial, c.k, r, c.opts, c.search)
+	cond, _, err := staticCondense(initial, c.k, r, c.opts, c.search, c.tel)
 	if err != nil {
 		return nil, err
 	}
-	return NewDynamic(cond, r)
+	d, err := NewDynamic(cond, r)
+	if err != nil {
+		return nil, err
+	}
+	d.SetTelemetry(c.tel)
+	return d, nil
 }
 
 // Anonymize produces a privacy-preserving replacement for ds using the
@@ -203,6 +216,7 @@ func (c *Condenser) Anonymize(ds *dataset.Dataset) (*dataset.Dataset, *Report, e
 		InitialFraction: c.initial,
 		Search:          c.search.Search,
 		Parallelism:     c.search.Parallelism,
+		Telemetry:       c.tel,
 	}
 	return Anonymize(ds, cfg, c.rng())
 }

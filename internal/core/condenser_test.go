@@ -48,7 +48,7 @@ func TestSearchBackendEquivalence(t *testing.T) {
 	} {
 		records := gaussianRecords(uint64(tc.n)*31+uint64(tc.d), tc.n, tc.d)
 		reference, refMembers, err := staticCondense(records, tc.k, rng.New(9), Options{},
-			searchConfig{Search: SearchScanSort})
+			searchConfig{Search: SearchScanSort}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"condensation/internal/mat"
 	"condensation/internal/rng"
 	"condensation/internal/stats"
+	"condensation/internal/telemetry"
 )
 
 // Dynamic maintains condensed groups over an incremental stream of records
@@ -25,6 +27,20 @@ type Dynamic struct {
 
 	groups    []*stats.Group
 	centroids []mat.Vector // cached, kept in sync with groups
+	met       engineMetrics
+	tel       *telemetry.Registry
+}
+
+// SetTelemetry attaches a metrics registry: Add then counts stream
+// records and split events, times the nearest-centroid routing (the
+// dynamic engine's neighbour search) and the statistics splits, and keeps
+// a live group-count gauge. A nil registry disables recording. Telemetry
+// is observe-only and never touches the split-axis rng.
+func (d *Dynamic) SetTelemetry(reg *telemetry.Registry) {
+	d.tel = reg
+	d.met = newEngineMetrics(reg)
+	d.met.withSearchBackend(reg, "centroid-scan")
+	d.met.groups.Set(float64(len(d.groups)))
 }
 
 // NewDynamic creates a dynamic condenser seeded from a static condensation
@@ -85,6 +101,16 @@ func (d *Dynamic) Dim() int { return d.dim }
 // NumGroups returns the current number of groups.
 func (d *Dynamic) NumGroups() int { return len(d.groups) }
 
+// TotalCount returns the number of records condensed so far, summed over
+// the live group statistics (no snapshot copy).
+func (d *Dynamic) TotalCount() int {
+	var n int
+	for _, g := range d.groups {
+		n += g.N()
+	}
+	return n
+}
+
 // Add routes one stream record to the group with the nearest centroid and
 // splits that group if it reaches 2k records.
 func (d *Dynamic) Add(x mat.Vector) error {
@@ -105,15 +131,25 @@ func (d *Dynamic) Add(x mat.Vector) error {
 			return err
 		}
 		d.centroids = append(d.centroids, m)
+		d.met.streamRecords.Inc()
+		d.met.groupsFormed.Inc()
+		d.met.groups.Set(1)
 		return nil
 	}
 
 	// Find the nearest centroid in H to X.
+	var t0 time.Time
+	if d.met.enabled {
+		t0 = time.Now()
+	}
 	best, bestD := 0, x.DistSq(d.centroids[0])
 	for i := 1; i < len(d.centroids); i++ {
 		if dist := x.DistSq(d.centroids[i]); dist < bestD {
 			best, bestD = i, dist
 		}
+	}
+	if d.met.enabled {
+		d.met.search.ObserveSince(t0)
 	}
 	g := d.groups[best]
 	if err := g.Add(x); err != nil {
@@ -126,6 +162,9 @@ func (d *Dynamic) Add(x mat.Vector) error {
 	d.centroids[best] = m
 
 	if g.N() == 2*d.k {
+		if d.met.enabled {
+			t0 = time.Now()
+		}
 		m1, m2, err := SplitGroup(g, d.k, d.opts.SplitAxis, d.r)
 		if err != nil {
 			return fmt.Errorf("core: splitting group %d: %w", best, err)
@@ -142,7 +181,14 @@ func (d *Dynamic) Add(x mat.Vector) error {
 		d.groups[best], d.centroids[best] = m1, c1
 		d.groups = append(d.groups, m2)
 		d.centroids = append(d.centroids, c2)
+		if d.met.enabled {
+			d.met.split.ObserveSince(t0)
+		}
+		d.met.splitEvents.Inc()
+		d.met.groupsFormed.Inc()
+		d.met.groups.Set(float64(len(d.groups)))
 	}
+	d.met.streamRecords.Inc()
 	return nil
 }
 
@@ -174,5 +220,7 @@ func (d *Dynamic) Condensation() *Condensation {
 	for i, g := range d.groups {
 		groups[i] = g.Clone()
 	}
-	return newCondensation(d.dim, d.k, d.opts, groups)
+	cond := newCondensation(d.dim, d.k, d.opts, groups)
+	cond.met = d.met
+	return cond
 }

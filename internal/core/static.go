@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"condensation/internal/knn"
 	"condensation/internal/mat"
 	"condensation/internal/rng"
 	"condensation/internal/stats"
+	"condensation/internal/telemetry"
 )
 
 // Static runs the CreateCondensedGroups algorithm of Figure 1 on the full
@@ -27,7 +29,7 @@ import (
 // ...).Static(records) — which also exposes the neighbour-search backend
 // and the parallelism of the distance sweep.
 func Static(records []mat.Vector, k int, r *rng.Source, opts Options) (*Condensation, error) {
-	cond, _, err := staticCondense(records, k, r, opts, searchConfig{})
+	cond, _, err := staticCondense(records, k, r, opts, searchConfig{}, nil)
 	return cond, err
 }
 
@@ -39,7 +41,7 @@ func Static(records []mat.Vector, k int, r *rng.Source, opts Options) (*Condensa
 //
 // Deprecated: use NewCondenser(k, ...).StaticWithMembers(records).
 func StaticWithMembers(records []mat.Vector, k int, r *rng.Source, opts Options) (*Condensation, [][]int, error) {
-	return staticCondense(records, k, r, opts, searchConfig{})
+	return staticCondense(records, k, r, opts, searchConfig{}, nil)
 }
 
 // staticCondense is the engine behind Static and Condenser.Static. Per
@@ -47,7 +49,7 @@ func StaticWithMembers(records []mat.Vector, k int, r *rng.Source, opts Options)
 // every search backend consumes the identical rng stream; with distinct
 // pairwise distances all backends therefore produce identical groups, with
 // members added in ascending-distance order.
-func staticCondense(records []mat.Vector, k int, r *rng.Source, opts Options, cfg searchConfig) (*Condensation, [][]int, error) {
+func staticCondense(records []mat.Vector, k int, r *rng.Source, opts Options, cfg searchConfig, tel *telemetry.Registry) (*Condensation, [][]int, error) {
 	if err := opts.validate(); err != nil {
 		return nil, nil, err
 	}
@@ -73,6 +75,9 @@ func staticCondense(records []mat.Vector, k int, r *rng.Source, opts Options, cf
 		}
 	}
 
+	met := newEngineMetrics(tel)
+	met.withSearchBackend(tel, searchBackendLabel(cfg.Search))
+
 	// k = 1 needs no neighbour search: every record is its own group. This
 	// is the paper's anchor case (static condensation at group size 1
 	// equals the original data) and deserves the O(n) fast path.
@@ -87,8 +92,10 @@ func staticCondense(records []mat.Vector, k int, r *rng.Source, opts Options, cf
 			groups[i] = g
 			members[i] = []int{i}
 		}
+		met.groupsFormed.Add(len(groups))
 		cond := newCondensation(dim, k, opts, groups)
 		cond.par = cfg.Parallelism
+		cond.met = met
 		return cond, members, nil
 	}
 
@@ -99,13 +106,21 @@ func staticCondense(records []mat.Vector, k int, r *rng.Source, opts Options, cf
 
 	var groups []*stats.Group
 	var members [][]int
+	var t0 time.Time
 	for search.remaining() >= k {
 		// Randomly sample a data point X from D, then pull X and its k−1
 		// closest remaining records out of the alive set.
 		pick := r.IntN(search.remaining())
+		if met.enabled {
+			t0 = time.Now()
+		}
 		group, err := search.takeGroup(pick, k)
 		if err != nil {
 			return nil, nil, err
+		}
+		if met.enabled {
+			met.search.ObserveSince(t0)
+			t0 = time.Now()
 		}
 		g := stats.NewGroup(dim)
 		for _, idx := range group {
@@ -113,6 +128,10 @@ func staticCondense(records []mat.Vector, k int, r *rng.Source, opts Options, cf
 				return nil, nil, fmt.Errorf("core: adding record to group: %w", err)
 			}
 		}
+		if met.enabled {
+			met.stats.ObserveSince(t0)
+		}
+		met.groupsFormed.Inc()
 		groups = append(groups, g)
 		members = append(members, group)
 	}
@@ -155,6 +174,7 @@ func staticCondense(records []mat.Vector, k int, r *rng.Source, opts Options, cf
 				}
 				members[best] = append(members[best], idx)
 			}
+			met.leftovers.Add(len(leftover))
 		case LeftoverOwnGroup:
 			g := stats.NewGroup(dim)
 			for _, idx := range leftover {
@@ -171,6 +191,7 @@ func staticCondense(records []mat.Vector, k int, r *rng.Source, opts Options, cf
 	// resulting condensation — one knob end to end.
 	cond := newCondensation(dim, k, opts, groups)
 	cond.par = cfg.Parallelism
+	cond.met = met
 	return cond, members, nil
 }
 

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"condensation/internal/telemetry"
+)
+
+// Engine metric names. The stage timers share one histogram family,
+// discriminated by the "stage" label; the neighbor_search series adds a
+// "backend" label naming the search implementation that produced the
+// timing. See DESIGN.md §7 for the full metric table.
+const (
+	metricStageSeconds  = "condense_stage_seconds"
+	metricGroupsFormed  = "condense_groups_formed_total"
+	metricLeftovers     = "condense_leftover_records_total"
+	metricSplitEvents   = "condense_split_events_total"
+	metricStreamRecords = "condense_stream_records_total"
+	metricGroups        = "condense_groups"
+)
+
+// engineMetrics holds the pre-resolved handles the engine hot paths write
+// to. The zero value is the disabled state: enabled is false, every handle
+// is nil, and (because telemetry handles are nil-safe) every recording
+// call is a no-op. Sites that time a stage guard the time.Now() calls
+// behind enabled so the disabled path pays only a branch.
+type engineMetrics struct {
+	enabled bool
+
+	search *telemetry.Histogram // stage=neighbor_search, backend=<impl>
+	stats  *telemetry.Histogram // stage=group_stats: moment accumulation
+	eigen  *telemetry.Histogram // stage=eigen: eigendecomposition
+	synth  *telemetry.Histogram // stage=synthesis: point regeneration
+	split  *telemetry.Histogram // stage=split: SplitGroupStatistics
+
+	groupsFormed  *telemetry.Counter
+	leftovers     *telemetry.Counter
+	splitEvents   *telemetry.Counter
+	streamRecords *telemetry.Counter
+	groups        *telemetry.Gauge
+}
+
+// newEngineMetrics resolves the engine handles from reg (nil reg means
+// disabled). The neighbor_search series is registered separately via
+// withSearchBackend because its backend label depends on the caller.
+func newEngineMetrics(reg *telemetry.Registry) engineMetrics {
+	if reg == nil {
+		return engineMetrics{}
+	}
+	return engineMetrics{
+		enabled:       true,
+		stats:         reg.Histogram(metricStageSeconds, nil, "stage", "group_stats"),
+		eigen:         reg.Histogram(metricStageSeconds, nil, "stage", "eigen"),
+		synth:         reg.Histogram(metricStageSeconds, nil, "stage", "synthesis"),
+		split:         reg.Histogram(metricStageSeconds, nil, "stage", "split"),
+		groupsFormed:  reg.Counter(metricGroupsFormed),
+		leftovers:     reg.Counter(metricLeftovers),
+		splitEvents:   reg.Counter(metricSplitEvents),
+		streamRecords: reg.Counter(metricStreamRecords),
+		groups:        reg.Gauge(metricGroups),
+	}
+}
+
+// withSearchBackend attaches the neighbor_search stage series for the
+// named backend ("quickselect", "scan-sort", "kdtree", or the dynamic
+// engine's "centroid-scan").
+func (m *engineMetrics) withSearchBackend(reg *telemetry.Registry, backend string) {
+	if reg == nil {
+		return
+	}
+	m.search = reg.Histogram(metricStageSeconds, nil,
+		"stage", "neighbor_search", "backend", backend)
+}
+
+// searchBackendLabel names the effective static backend for the metric
+// label: SearchAuto resolves to the quickselect scan it actually runs.
+func searchBackendLabel(s NeighborSearch) string {
+	if s == SearchAuto {
+		return SearchQuickselect.String()
+	}
+	return s.String()
+}
+
+// WithTelemetry attaches a metrics registry to the Condenser: every
+// condensation it constructs (static, dynamic, or via Anonymize) records
+// stage timings and group counters into reg. A nil registry (the default)
+// disables telemetry; the engine then pays only dead branches. Telemetry
+// is observe-only — it never feeds the rng or any decision, so output is
+// bit-identical with it on or off.
+func WithTelemetry(reg *telemetry.Registry) CondenserOption {
+	return func(c *Condenser) { c.tel = reg }
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 
 	"condensation/internal/core"
 	"condensation/internal/dataset"
@@ -48,6 +49,13 @@ type Config struct {
 	// count is always a caller bug. Results are bit-identical for every
 	// setting.
 	Parallelism int
+	// Logger, when set, receives structured progress events as experiment
+	// cells complete, so long runs are not silent. Logging is observe-only
+	// and never changes results.
+	Logger *slog.Logger
+	// LogEvery is the progress cadence in completed cells; values < 1 mean
+	// a tenth of the grid (at least 1). Ignored without a Logger.
+	LogEvery int
 }
 
 // anonymizeConfig assembles the core anonymization config for one

@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"log/slog"
+	"time"
+
 	"condensation/internal/par"
 	"condensation/internal/rng"
 )
@@ -31,7 +34,30 @@ func presplit(root *rng.Source, n int) []*rng.Source {
 // runtime.NumCPU()).
 func (c Config) workers() int { return par.Workers(c.Parallelism) }
 
-// runCells fans n experiment cells out across the evaluation pool.
+// runCells fans n experiment cells out across the evaluation pool. With a
+// Logger configured it reports structured progress as cells complete;
+// progress is observe-only, so results stay bit-identical with logging on
+// or off.
 func (c Config) runCells(n int, fn func(i int) error) error {
-	return par.Run(n, c.workers(), fn)
+	if c.Logger == nil {
+		return par.Run(n, c.workers(), fn)
+	}
+	every := c.LogEvery
+	if every < 1 {
+		every = n / 10
+		if every < 1 {
+			every = 1
+		}
+	}
+	start := time.Now()
+	log := c.Logger
+	return par.RunProgress(n, c.workers(), func(done int) {
+		if done%every == 0 || done == n {
+			log.Info("experiment progress",
+				slog.Int("cells_done", done),
+				slog.Int("cells_total", n),
+				slog.Int("workers", c.workers()),
+				slog.Duration("elapsed", time.Since(start).Round(time.Millisecond)))
+		}
+	}, fn)
 }

@@ -31,6 +31,18 @@ func Workers(p int) int {
 // the first error); otherwise every task runs and the lowest-index error
 // is returned, which is the same error the sequential loop reports.
 func Run(n, workers int, fn func(i int) error) error {
+	return RunProgress(n, workers, nil, fn)
+}
+
+// RunProgress is Run with a completion callback: after each task returns,
+// progress is invoked with the cumulative number of completed tasks (in
+// completion order, not index order). The callback runs on the worker
+// goroutines, so it must be safe for concurrent use and cheap — it sits
+// between tasks. A nil progress is Run exactly. Progress observation
+// never changes which tasks run or what they compute; it exists so long
+// fan-outs (experiment grids) can report structured progress instead of
+// running silent.
+func RunProgress(n, workers int, progress func(done int), fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -42,11 +54,14 @@ func Run(n, workers int, fn func(i int) error) error {
 			if err := fn(i); err != nil {
 				return err
 			}
+			if progress != nil {
+				progress(i + 1)
+			}
 		}
 		return nil
 	}
 	errs := make([]error, n)
-	var next atomic.Int64
+	var next, done atomic.Int64
 	next.Store(-1)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -59,6 +74,9 @@ func Run(n, workers int, fn func(i int) error) error {
 					return
 				}
 				errs[i] = fn(i)
+				if progress != nil {
+					progress(int(done.Add(1)))
+				}
 			}
 		}()
 	}

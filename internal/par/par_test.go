@@ -88,3 +88,44 @@ func TestRunChunksError(t *testing.T) {
 		t.Errorf("err = %v, want the lowest chunk's", err)
 	}
 }
+
+func TestRunProgress(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int64
+		var maxDone atomic.Int64
+		err := RunProgress(20, workers, func(done int) {
+			calls.Add(1)
+			for {
+				old := maxDone.Load()
+				if int64(done) <= old || maxDone.CompareAndSwap(old, int64(done)) {
+					break
+				}
+			}
+		}, func(i int) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if calls.Load() != 20 {
+			t.Errorf("workers=%d: %d progress calls, want 20", workers, calls.Load())
+		}
+		if maxDone.Load() != 20 {
+			t.Errorf("workers=%d: max done = %d, want 20", workers, maxDone.Load())
+		}
+	}
+}
+
+func TestRunProgressSequentialStopsAtError(t *testing.T) {
+	var last int
+	err := RunProgress(10, 1, func(done int) { last = done }, func(i int) error {
+		if i == 3 {
+			return fmt.Errorf("task %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "task 3 failed" {
+		t.Errorf("err = %v", err)
+	}
+	if last != 3 {
+		t.Errorf("progress reached %d, want 3 (tasks before the failure)", last)
+	}
+}

@@ -11,7 +11,14 @@
 //	GET  /v1/snapshot   ?seed=N                       synthesize anonymized records
 //	GET  /v1/stats                                    condensation statistics + audit
 //	GET  /v1/checkpoint                               binary condensation state (octet-stream)
-//	GET  /healthz                                     liveness probe
+//	GET  /healthz                                     build info, uptime, live counts
+//	GET  /metrics                                     Prometheus text exposition
+//	GET  /debug/vars                                  expvar-style JSON metrics
+//
+// Every endpoint runs behind telemetry middleware recording request
+// counts, an in-flight gauge, status-class counters, and a latency
+// histogram per endpoint. Error responses use one JSON envelope:
+// {"error": "..."}.
 package server
 
 import (
@@ -19,14 +26,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
+	"time"
 
 	"condensation/internal/core"
 	"condensation/internal/mat"
 	"condensation/internal/privacy"
 	"condensation/internal/rng"
+	"condensation/internal/telemetry"
 )
 
 // Config configures a condensation server.
@@ -55,6 +67,14 @@ type Config struct {
 	// (e.g. loaded from a checkpoint); its dim/k/options take precedence
 	// over Dim and over a nil Condenser's defaults.
 	Initial *core.Condensation
+	// Telemetry receives the server's HTTP metrics and, through the
+	// dynamic condenser, the engine's stage timers and group counters. Nil
+	// means the server creates a private registry, so /metrics always
+	// serves.
+	Telemetry *telemetry.Registry
+	// Logger receives structured request-independent events (startup,
+	// ingest summaries). Nil means logging is off.
+	Logger *slog.Logger
 }
 
 // Server is a thread-safe condensation HTTP service.
@@ -65,6 +85,10 @@ type Server struct {
 	dim      int
 	maxBatch int
 	mux      *http.ServeMux
+	reg      *telemetry.Registry
+	log      *slog.Logger
+	start    time.Time
+	inFlight *telemetry.Gauge
 }
 
 // New builds a server.
@@ -98,19 +122,71 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	dyn.SetTelemetry(reg)
 	s := &Server{
 		dyn:      dyn,
 		k:        dyn.K(),
 		dim:      dyn.Dim(),
 		maxBatch: cfg.MaxBatch,
 		mux:      http.NewServeMux(),
+		reg:      reg,
+		log:      cfg.Logger,
+		start:    time.Now(),
+		inFlight: reg.Gauge("http_in_flight"),
 	}
-	s.mux.HandleFunc("/v1/records", s.handleRecords)
-	s.mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("/v1/stats", s.handleStats)
-	s.mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
-	s.mux.HandleFunc("/healthz", s.handleHealth)
+	if s.log == nil {
+		s.log = telemetry.Nop()
+	}
+	s.route("/v1/records", s.handleRecords)
+	s.route("/v1/snapshot", s.handleSnapshot)
+	s.route("/v1/stats", s.handleStats)
+	s.route("/v1/checkpoint", s.handleCheckpoint)
+	s.route("/healthz", s.handleHealth)
+	s.route("/metrics", s.handleMetrics)
+	s.route("/debug/vars", s.handleVars)
 	return s, nil
+}
+
+// route registers a handler behind the telemetry middleware: per-endpoint
+// request counter by status class, latency histogram, and the shared
+// in-flight gauge. The path label is the registered pattern, so metric
+// cardinality is bounded by the route table, never by client input.
+func (s *Server) route(path string, h http.HandlerFunc) {
+	requests2xx := s.reg.Counter("http_requests_total", "path", path, "code", "2xx")
+	requests4xx := s.reg.Counter("http_requests_total", "path", path, "code", "4xx")
+	requests5xx := s.reg.Counter("http_requests_total", "path", path, "code", "5xx")
+	latency := s.reg.Histogram("http_request_seconds", nil, "path", path)
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		s.inFlight.Add(1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.inFlight.Add(-1)
+		latency.ObserveSince(t0)
+		switch {
+		case sw.status >= 500:
+			requests5xx.Inc()
+		case sw.status >= 400:
+			requests4xx.Inc()
+		default:
+			requests2xx.Inc()
+		}
+	})
+}
+
+// statusWriter captures the response status for the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
 }
 
 // ServeHTTP implements http.Handler.
@@ -145,6 +221,7 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
@@ -184,10 +261,16 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	// Ingest under the request context: if the client disconnects or the
 	// request deadline passes mid-batch, ingestion stops at a record
 	// boundary instead of holding the lock for the full batch.
+	t0 := time.Now()
 	s.mu.Lock()
 	err := s.dyn.AddAllContext(r.Context(), records)
 	groups := s.dyn.NumGroups()
 	s.mu.Unlock()
+	s.log.Debug("ingested batch",
+		slog.Int("records", len(records)),
+		slog.Int("groups", groups),
+		slog.Duration("elapsed", time.Since(t0)),
+		slog.Any("err", err))
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			// 499-style: the client is gone or out of time; the write is
@@ -210,6 +293,7 @@ type snapshotResponse struct {
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
 		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
@@ -255,6 +339,7 @@ type statsResponse struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
 		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
@@ -278,6 +363,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
 		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
@@ -292,7 +378,79 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// healthResponse is the GET /healthz body: build identity plus live
+// condensation counts, so probes and humans see the same picture.
+type healthResponse struct {
+	Status        string  `json:"status"`
+	GoVersion     string  `json:"go_version"`
+	VCSRevision   string  `json:"vcs_revision,omitempty"`
+	VCSTime       string  `json:"vcs_time,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Dim           int     `json:"dim"`
+	K             int     `json:"k"`
+	Groups        int     `json:"groups"`
+	Records       int     `json:"records"`
+}
+
+// buildVCS reads the VCS revision and commit time stamped into the binary
+// by the Go toolchain, when present (test binaries and plain `go run`
+// builds may not carry them).
+func buildVCS() (revision, vcsTime string) {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", ""
+	}
+	for _, kv := range info.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			revision = kv.Value
+		case "vcs.time":
+			vcsTime = kv.Value
+		}
+	}
+	return revision, vcsTime
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write([]byte("ok\n"))
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	s.mu.Lock()
+	groups := s.dyn.NumGroups()
+	records := s.dyn.TotalCount()
+	s.mu.Unlock()
+	rev, vcsTime := buildVCS()
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:        "ok",
+		GoVersion:     runtime.Version(),
+		VCSRevision:   rev,
+		VCSTime:       vcsTime,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Dim:           s.dim,
+		K:             s.k,
+		Groups:        groups,
+		Records:       records,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.reg.WriteJSON(w)
 }

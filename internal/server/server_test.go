@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"condensation/internal/core"
@@ -20,7 +21,11 @@ func newTestServer(t *testing.T, k int) *httptest.Server {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(s)
-	t.Cleanup(ts.Close)
+	testServers[ts.URL] = s
+	t.Cleanup(func() {
+		delete(testServers, ts.URL)
+		ts.Close()
+	})
 	return ts
 }
 
@@ -201,6 +206,7 @@ func TestMethodNotAllowed(t *testing.T) {
 
 func TestHealth(t *testing.T) {
 	ts := newTestServer(t, 3)
+	postRecords(t, ts, genRecords(5, 20))
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -208,6 +214,182 @@ func TestHealth(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("healthz content type %q", ct)
+	}
+	var hr healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" {
+		t.Errorf("status %q", hr.Status)
+	}
+	if hr.GoVersion == "" {
+		t.Error("missing go_version")
+	}
+	if hr.UptimeSeconds < 0 {
+		t.Errorf("uptime %g", hr.UptimeSeconds)
+	}
+	if hr.Records != 20 || hr.K != 3 || hr.Dim != 2 || hr.Groups < 1 {
+		t.Errorf("health counts %+v", hr)
+	}
+}
+
+// TestErrorEnvelope pins every 4xx path to the JSON error envelope with
+// the right status code: bad JSON, wrong method, dimension mismatch, and
+// the cancelled-context 408.
+func TestErrorEnvelope(t *testing.T) {
+	ts := newTestServer(t, 3)
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		cancel bool
+		want   int
+	}{
+		{name: "bad json", method: http.MethodPost, path: "/v1/records", body: `{"records": [[1,`, want: http.StatusBadRequest},
+		{name: "empty batch", method: http.MethodPost, path: "/v1/records", body: `{"records": []}`, want: http.StatusBadRequest},
+		{name: "dimension mismatch", method: http.MethodPost, path: "/v1/records", body: `{"records": [[1,2,3]]}`, want: http.StatusBadRequest},
+		{name: "non-finite record", method: http.MethodPost, path: "/v1/records", body: `{"records": [[1, 1e999]]}`, want: http.StatusBadRequest},
+		{name: "wrong method records", method: http.MethodGet, path: "/v1/records", want: http.StatusMethodNotAllowed},
+		{name: "wrong method snapshot", method: http.MethodPost, path: "/v1/snapshot", want: http.StatusMethodNotAllowed},
+		{name: "wrong method stats", method: http.MethodPost, path: "/v1/stats", want: http.StatusMethodNotAllowed},
+		{name: "wrong method metrics", method: http.MethodPost, path: "/metrics", want: http.StatusMethodNotAllowed},
+		{name: "wrong method healthz", method: http.MethodPost, path: "/healthz", want: http.StatusMethodNotAllowed},
+		{name: "bad snapshot seed", method: http.MethodGet, path: "/v1/snapshot?seed=banana", want: http.StatusBadRequest},
+		{name: "cancelled context", method: http.MethodPost, path: "/v1/records", body: `{"records": [[1,2]]}`, cancel: true, want: http.StatusRequestTimeout},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.cancel {
+				// A cancelled client context would abort the client side
+				// before the response arrives; go through the handler
+				// directly instead.
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel()
+				req := httptest.NewRequest(tc.method, tc.path, strings.NewReader(tc.body)).WithContext(ctx)
+				rec := httptest.NewRecorder()
+				serverFromTS(t, ts).ServeHTTP(rec, req)
+				assertEnvelope(t, rec.Code, rec.Header().Get("Content-Type"), rec.Body.Bytes(), tc.want)
+				return
+			}
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var body bytes.Buffer
+			if _, err := body.ReadFrom(resp.Body); err != nil {
+				t.Fatal(err)
+			}
+			assertEnvelope(t, resp.StatusCode, resp.Header.Get("Content-Type"), body.Bytes(), tc.want)
+			if tc.want == http.StatusMethodNotAllowed && resp.Header.Get("Allow") == "" {
+				t.Error("405 without an Allow header")
+			}
+		})
+	}
+}
+
+// assertEnvelope checks one error response: expected status, JSON content
+// type, and a non-empty {"error": ...} body.
+func assertEnvelope(t *testing.T, status int, contentType string, body []byte, want int) {
+	t.Helper()
+	if status != want {
+		t.Errorf("status %d, want %d", status, want)
+	}
+	if !strings.HasPrefix(contentType, "application/json") {
+		t.Errorf("content type %q, want application/json", contentType)
+	}
+	var env errorResponse
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("body is not the JSON envelope: %v\n%s", err, body)
+	}
+	if env.Error == "" {
+		t.Error("empty error message in envelope")
+	}
+}
+
+// testServers maps httptest servers back to their Server for direct
+// handler invocation (cancelled-context cases).
+var testServers = map[string]*Server{}
+
+func serverFromTS(t *testing.T, ts *httptest.Server) *Server {
+	t.Helper()
+	s, ok := testServers[ts.URL]
+	if !ok {
+		t.Fatal("no Server registered for test server")
+	}
+	return s
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t, 5)
+	postRecords(t, ts, genRecords(6, 60))
+	if resp, err := http.Get(ts.URL + "/v1/snapshot"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type %q", ct)
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := body.String()
+	for _, want := range []string{
+		`# TYPE http_request_seconds histogram`,
+		`http_request_seconds_bucket{path="/v1/records",le="+Inf"}`,
+		`http_requests_total{path="/v1/records",code="2xx"} 1`,
+		`# TYPE condense_stage_seconds histogram`,
+		`condense_stage_seconds_count{stage="neighbor_search",backend="centroid-scan"}`,
+		`condense_stage_seconds_count{stage="eigen"}`,
+		`condense_stage_seconds_count{stage="synthesis"}`,
+		`condense_groups_formed_total`,
+		`condense_split_events_total`,
+		`condense_stream_records_total 60`,
+		`condense_groups `,
+		`http_in_flight`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+func TestDebugVarsEndpoint(t *testing.T) {
+	ts := newTestServer(t, 4)
+	postRecords(t, ts, genRecords(6, 20))
+	resp, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug/vars status %d", resp.StatusCode)
+	}
+	var vars map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("debug/vars is not JSON: %v", err)
+	}
+	if vars["condense_stream_records_total"] != float64(20) {
+		t.Errorf("condense_stream_records_total = %v", vars["condense_stream_records_total"])
 	}
 }
 

@@ -9,10 +9,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"time"
 
 	"condensation/internal/core"
 	"condensation/internal/mat"
 	"condensation/internal/rng"
+	"condensation/internal/telemetry"
 )
 
 // Snapshot reports the condenser state after a prefix of the stream.
@@ -32,6 +35,11 @@ type Driver struct {
 	SnapshotEvery int
 	snapshots     []Snapshot
 	seen          int
+
+	log     *slog.Logger
+	rate    *telemetry.Gauge // records/sec over the last Feed call
+	churn   *telemetry.Gauge // net group-count change over the last Feed call
+	records *telemetry.Counter
 }
 
 // NewDriver wraps a dynamic condenser.
@@ -39,7 +47,28 @@ func NewDriver(dyn *core.Dynamic) (*Driver, error) {
 	if dyn == nil {
 		return nil, errors.New("stream: nil dynamic condenser")
 	}
-	return &Driver{dyn: dyn}, nil
+	return &Driver{dyn: dyn, log: telemetry.Nop()}, nil
+}
+
+// SetTelemetry attaches a metrics registry: each Feed/FeedContext call
+// then updates a records-per-second gauge and a group-churn gauge (net
+// groups gained over the call), and counts the records it delivered.
+// This instruments the driver itself; attach the same registry to the
+// condenser (core.WithTelemetry) for the engine-level stage timers.
+func (d *Driver) SetTelemetry(reg *telemetry.Registry) {
+	d.rate = reg.Gauge("stream_records_per_second")
+	d.churn = reg.Gauge("stream_group_churn")
+	d.records = reg.Counter("stream_records_total")
+}
+
+// SetLogger attaches a structured logger: the driver then emits one
+// progress line per recorded snapshot (so SnapshotEvery doubles as the
+// logging cadence). A nil logger silences it again.
+func (d *Driver) SetLogger(log *slog.Logger) {
+	if log == nil {
+		log = telemetry.Nop()
+	}
+	d.log = log
 }
 
 // Feed streams the records in order. It is FeedContext with a background
@@ -53,6 +82,18 @@ func (d *Driver) Feed(records []mat.Vector) error {
 // cancellation stay condensed and counted; the driver can keep feeding
 // afterwards with a live context.
 func (d *Driver) FeedContext(ctx context.Context, records []mat.Vector) error {
+	t0 := time.Now()
+	groups0 := d.dyn.NumGroups()
+	delivered := 0
+	defer func() {
+		// Gauges reflect the call that just finished, whether it completed
+		// or was cancelled mid-batch; delivered records stay counted.
+		d.records.Add(delivered)
+		d.churn.Set(float64(d.dyn.NumGroups() - groups0))
+		if elapsed := time.Since(t0).Seconds(); elapsed > 0 {
+			d.rate.Set(float64(delivered) / elapsed)
+		}
+	}()
 	for i, x := range records {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("stream: cancelled at record %d: %w", i, err)
@@ -61,20 +102,30 @@ func (d *Driver) FeedContext(ctx context.Context, records []mat.Vector) error {
 			return fmt.Errorf("stream: record %d: %w", i, err)
 		}
 		d.seen++
+		delivered++
 		if d.SnapshotEvery > 0 && d.seen%d.SnapshotEvery == 0 {
-			d.takeSnapshot()
+			d.takeSnapshot(t0, delivered)
 		}
 	}
 	return nil
 }
 
-func (d *Driver) takeSnapshot() {
+func (d *Driver) takeSnapshot(feedStart time.Time, delivered int) {
 	snap := d.dyn.Condensation()
 	d.snapshots = append(d.snapshots, Snapshot{
 		Seen:         d.seen,
 		Groups:       snap.NumGroups(),
 		AvgGroupSize: snap.AverageGroupSize(),
 	})
+	rate := 0.0
+	if elapsed := time.Since(feedStart).Seconds(); elapsed > 0 {
+		rate = float64(delivered) / elapsed
+	}
+	d.log.Info("stream progress",
+		slog.Int("seen", d.seen),
+		slog.Int("groups", snap.NumGroups()),
+		slog.Float64("avg_group_size", snap.AverageGroupSize()),
+		slog.Float64("records_per_sec", rate))
 }
 
 // Snapshots returns the recorded snapshots in stream order.

@@ -1,13 +1,16 @@
 package stream
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"strings"
 	"testing"
 
 	"condensation/internal/core"
 	"condensation/internal/mat"
 	"condensation/internal/rng"
+	"condensation/internal/telemetry"
 )
 
 func records(seed uint64, n int) []mat.Vector {
@@ -207,5 +210,61 @@ func TestDriftStreamKeepsInvariants(t *testing.T) {
 		if g.N() >= 2*k {
 			t.Errorf("group %d has %d ≥ 2k records under drift", i, g.N())
 		}
+	}
+}
+
+func TestDriverTelemetry(t *testing.T) {
+	d, err := NewDriver(newDynamic(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	d.SetTelemetry(reg)
+	if err := d.Feed(records(5, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("stream_records_total").Value(); got != 40 {
+		t.Errorf("stream_records_total = %d, want 40", got)
+	}
+	if got := reg.Gauge("stream_records_per_second").Value(); got <= 0 {
+		t.Errorf("stream_records_per_second = %g, want > 0", got)
+	}
+	// 40 records at k=3 must have grown groups from zero.
+	if got := reg.Gauge("stream_group_churn").Value(); got < 1 {
+		t.Errorf("stream_group_churn = %g, want ≥ 1", got)
+	}
+
+	// A second Feed that adds no groups reports zero churn for that call.
+	before := d.Condensation().NumGroups()
+	if err := d.Feed(records(6, 1)); err != nil {
+		t.Fatal(err)
+	}
+	wantChurn := float64(d.Condensation().NumGroups() - before)
+	if got := reg.Gauge("stream_group_churn").Value(); got != wantChurn {
+		t.Errorf("churn after 1-record feed = %g, want %g", got, wantChurn)
+	}
+}
+
+func TestDriverLogger(t *testing.T) {
+	d, err := NewDriver(newDynamic(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	log, err := telemetry.NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetLogger(log)
+	d.SnapshotEvery = 10
+	if err := d.Feed(records(7, 30)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimSpace(buf.String()), "\n") + 1
+	if lines != 3 {
+		t.Errorf("%d progress lines, want 3 (every 10 of 30 records):\n%s", lines, buf.String())
+	}
+	if !strings.Contains(buf.String(), `"msg":"stream progress"`) {
+		t.Errorf("missing progress message: %s", buf.String())
 	}
 }

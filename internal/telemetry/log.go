@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds a slog.Logger writing to w at the given level
+// ("debug", "info", "warn", "error", or "off") in the given format ("text"
+// or "json"). "off" returns the no-op logger, so commands that default to
+// quiet pay nothing for the wiring.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	case "off", "none":
+		return Nop(), nil
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log level %q (want debug, info, warn, error, or off)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (want text or json)", format)
+	}
+}
+
+// Component derives a child logger tagged with the component name, so one
+// process-wide logger fans out to per-subsystem loggers that share sinks
+// and levels. A nil parent yields the no-op logger.
+func Component(parent *slog.Logger, name string) *slog.Logger {
+	if parent == nil {
+		return Nop()
+	}
+	return parent.With(slog.String("component", name))
+}
+
+// nopHandler drops every record; it exists because slog has no disabled
+// handler before Go 1.24 and this module targets 1.22.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+var nopLogger = slog.New(nopHandler{})
+
+// Nop returns a logger that discards everything (always the same
+// instance, so comparisons and With-chains stay cheap).
+func Nop() *slog.Logger { return nopLogger }
