@@ -164,17 +164,21 @@ func (s *Server) route(path string, h http.HandlerFunc) {
 		t0 := time.Now()
 		s.inFlight.Add(1)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		// Deferred so a panicking handler (recovered per-connection by
+		// net/http) still decrements the in-flight gauge and is counted.
+		defer func() {
+			s.inFlight.Add(-1)
+			latency.ObserveSince(t0)
+			switch {
+			case sw.status >= 500:
+				requests5xx.Inc()
+			case sw.status >= 400:
+				requests4xx.Inc()
+			default:
+				requests2xx.Inc()
+			}
+		}()
 		h(sw, r)
-		s.inFlight.Add(-1)
-		latency.ObserveSince(t0)
-		switch {
-		case sw.status >= 500:
-			requests5xx.Inc()
-		case sw.status >= 400:
-			requests4xx.Inc()
-		default:
-			requests2xx.Inc()
-		}
 	})
 }
 

@@ -91,8 +91,8 @@ func (g *Gauge) Value() float64 {
 // tracks the observation sum and count — enough for rate, mean, and
 // quantile-estimate queries in Prometheus.
 type Histogram struct {
-	upper   []float64 // ascending bucket upper bounds, +Inf excluded
-	buckets []atomic.Uint64
+	upper   []float64       // ascending bucket upper bounds, +Inf excluded
+	buckets []atomic.Uint64 // len(upper)+1; the last slot is the +Inf overflow
 	count   atomic.Uint64
 	sumBits atomic.Uint64
 }
@@ -110,11 +110,12 @@ func (h *Histogram) Observe(v float64) {
 		return
 	}
 	// Buckets are cumulative only at export time; each observation lands in
-	// the first bucket whose upper bound admits it (or the implicit +Inf).
+	// the first bucket whose upper bound admits it, or the explicit +Inf
+	// overflow slot at the end. Export derives the +Inf sample and _count
+	// from the bucket array alone, so concurrent Observes can never make
+	// the cumulative series non-monotone.
 	i := sort.SearchFloat64s(h.upper, v)
-	if i < len(h.buckets) {
-		h.buckets[i].Add(1)
-	}
+	h.buckets[i].Add(1)
 	h.count.Add(1)
 	for {
 		old := h.sumBits.Load()
@@ -198,14 +199,19 @@ func NewRegistry() *Registry {
 
 // renderLabels formats alternating key, value pairs as {k="v",...} in the
 // given order. Callers must use one consistent order per series; the
-// registry keys series by the rendered form.
+// registry keys series by the rendered form. An odd number of arguments
+// is a bug at the call site and panics rather than silently producing a
+// differently-keyed series.
 func renderLabels(kv []string) string {
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: odd number of label arguments (%d): %q", len(kv), kv))
+	}
 	if len(kv) == 0 {
 		return ""
 	}
 	var b strings.Builder
 	b.WriteByte('{')
-	for i := 0; i+1 < len(kv); i += 2 {
+	for i := 0; i < len(kv); i += 2 {
 		if i > 0 {
 			b.WriteByte(',')
 		}
@@ -218,11 +224,15 @@ func renderLabels(kv []string) string {
 }
 
 // lookup finds or creates the series for (name, labels), enforcing one
-// kind per family. It returns nil when the registry is nil or the family
-// is already registered with a different kind — the caller then holds a
-// nil handle, which is safe.
-func (r *Registry) lookup(name string, k kind, kv []string) *metric {
+// kind per family. The handle (c/g/h) is allocated here, while r.mu is
+// held, so handle pointers are immutable once the metric escapes the
+// mutex — concurrent first use cannot mint duplicate handles or race
+// with snapshot readers. It returns nil when the registry is nil or the
+// family is already registered with a different kind — the caller then
+// holds a nil handle, which is safe.
+func (r *Registry) lookup(name string, k kind, kv []string, buckets []float64) *metric {
 	if r == nil {
+		renderLabels(kv) // still validate the call site when disabled
 		return nil
 	}
 	labels := renderLabels(kv)
@@ -237,6 +247,19 @@ func (r *Registry) lookup(name string, k kind, kv []string) *metric {
 	}
 	r.kinds[name] = k
 	m := &metric{name: name, labels: labels}
+	switch k {
+	case kindCounter:
+		m.c = &Counter{}
+	case kindGauge:
+		m.g = &Gauge{}
+	case kindHistogram:
+		if len(buckets) == 0 {
+			buckets = DefBuckets
+		}
+		upper := append([]float64(nil), buckets...)
+		sort.Float64s(upper)
+		m.h = &Histogram{upper: upper, buckets: make([]atomic.Uint64, len(upper)+1)}
+	}
 	r.metrics[id] = m
 	return m
 }
@@ -245,24 +268,18 @@ func (r *Registry) lookup(name string, k kind, kv []string) *metric {
 // label pairs, creating it on first use. A nil registry returns a nil
 // (no-op) handle.
 func (r *Registry) Counter(name string, kv ...string) *Counter {
-	m := r.lookup(name, kindCounter, kv)
+	m := r.lookup(name, kindCounter, kv, nil)
 	if m == nil {
 		return nil
-	}
-	if m.c == nil {
-		m.c = &Counter{}
 	}
 	return m.c
 }
 
 // Gauge returns the gauge for name and labels, creating it on first use.
 func (r *Registry) Gauge(name string, kv ...string) *Gauge {
-	m := r.lookup(name, kindGauge, kv)
+	m := r.lookup(name, kindGauge, kv, nil)
 	if m == nil {
 		return nil
-	}
-	if m.g == nil {
-		m.g = &Gauge{}
 	}
 	return m.g
 }
@@ -271,17 +288,9 @@ func (r *Registry) Gauge(name string, kv ...string) *Gauge {
 // ascending bucket upper bounds (nil means DefBuckets), creating it on
 // first use. The bounds of the first creation win for the series.
 func (r *Registry) Histogram(name string, buckets []float64, kv ...string) *Histogram {
-	m := r.lookup(name, kindHistogram, kv)
+	m := r.lookup(name, kindHistogram, kv, buckets)
 	if m == nil {
 		return nil
-	}
-	if m.h == nil {
-		if len(buckets) == 0 {
-			buckets = DefBuckets
-		}
-		upper := append([]float64(nil), buckets...)
-		sort.Float64s(upper)
-		m.h = &Histogram{upper: upper, buckets: make([]atomic.Uint64, len(upper))}
 	}
 	return m.h
 }
@@ -355,16 +364,21 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case m.g != nil:
 			fmt.Fprintf(&b, "%s%s %s\n", m.name, m.labels, formatFloat(m.g.Value()))
 		case m.h != nil:
+			// +Inf and _count come from the bucket array itself (finite
+			// cumulative sum plus the overflow slot), never from the separate
+			// count atomic: a concurrent Observe between reads could otherwise
+			// make +Inf momentarily smaller than a finite cumulative bucket.
 			var cum uint64
 			for i, ub := range m.h.upper {
 				cum += m.h.buckets[i].Load()
 				le := mergeLabels(m.labels, `le="`+formatFloat(ub)+`"`)
 				fmt.Fprintf(&b, "%s_bucket%s %d\n", m.name, le, cum)
 			}
+			cum += m.h.buckets[len(m.h.upper)].Load()
 			inf := mergeLabels(m.labels, `le="+Inf"`)
-			fmt.Fprintf(&b, "%s_bucket%s %d\n", m.name, inf, m.h.Count())
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", m.name, inf, cum)
 			fmt.Fprintf(&b, "%s_sum%s %s\n", m.name, m.labels, formatFloat(m.h.Sum()))
-			fmt.Fprintf(&b, "%s_count%s %d\n", m.name, m.labels, m.h.Count())
+			fmt.Fprintf(&b, "%s_count%s %d\n", m.name, m.labels, cum)
 		}
 	}
 	_, err := io.WriteString(w, b.String())
@@ -393,12 +407,9 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			writeJSONFloat(&b, m.h.Sum())
 			b.WriteString(`, "buckets": {`)
 			for j, ub := range m.h.upper {
-				if j > 0 {
-					b.WriteString(", ")
-				}
-				fmt.Fprintf(&b, "%s: %d", strconv.Quote(formatFloat(ub)), m.h.buckets[j].Load())
+				fmt.Fprintf(&b, "%s: %d, ", strconv.Quote(formatFloat(ub)), m.h.buckets[j].Load())
 			}
-			b.WriteString("}}")
+			fmt.Fprintf(&b, `"+Inf": %d}}`, m.h.buckets[len(m.h.upper)].Load())
 		}
 	}
 	b.WriteString("\n}\n")

@@ -46,8 +46,8 @@ func TestHistogramBucketing(t *testing.T) {
 	}
 	// Raw (non-cumulative) bucket contents: le=0.01 holds 0.005 and 0.01
 	// (le is inclusive), le=0.1 holds 0.02, le=1 holds 0.5, and 2 and 100
-	// land past every bound (the implicit +Inf bucket).
-	want := []uint64{2, 1, 1}
+	// land in the explicit +Inf overflow slot at the end.
+	want := []uint64{2, 1, 1, 2}
 	for i, w := range want {
 		if got := h.buckets[i].Load(); got != w {
 			t.Errorf("bucket %d = %d, want %d", i, got, w)
@@ -189,6 +189,57 @@ func TestRegistryConcurrent(t *testing.T) {
 	}
 	if got := reg.Histogram("work_seconds", nil, "worker", "shared").Count(); got != goroutines*iters {
 		t.Errorf("histogram count = %d, want %d", got, goroutines*iters)
+	}
+}
+
+// TestRegistryConcurrentFirstUse releases all goroutines from a barrier so
+// they race on the one-time creation of each series. Lazily initializing
+// handles outside the registry lock would lose increments here (two
+// goroutines minting two handles for one series) and trip -race; handles
+// must be allocated inside lookup while the mutex is held.
+func TestRegistryConcurrentFirstUse(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines = 16
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			reg.Counter("first_total", "worker", "shared").Inc()
+			reg.Gauge("first_depth").Add(1)
+			reg.Histogram("first_seconds", nil, "worker", "shared").Observe(0.001)
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := reg.Counter("first_total", "worker", "shared").Value(); got != goroutines {
+		t.Errorf("first_total = %d, want %d (increments lost to a duplicate handle?)", got, goroutines)
+	}
+	if got := reg.Gauge("first_depth").Value(); got != goroutines {
+		t.Errorf("first_depth = %g, want %d", got, goroutines)
+	}
+	if got := reg.Histogram("first_seconds", nil, "worker", "shared").Count(); got != goroutines {
+		t.Errorf("first_seconds count = %d, want %d", got, goroutines)
+	}
+}
+
+// TestOddLabelsPanic: an odd number of label arguments is a call-site bug
+// and must fail loudly instead of minting a differently-keyed series.
+func TestOddLabelsPanic(t *testing.T) {
+	for name, f := range map[string]func(){
+		"live": func() { NewRegistry().Counter("x_total", "path") },
+		"nil":  func() { var reg *Registry; reg.Gauge("x", "path") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s registry: odd label arguments did not panic", name)
+				}
+			}()
+			f()
+		}()
 	}
 }
 
