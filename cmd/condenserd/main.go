@@ -6,6 +6,7 @@
 // Usage:
 //
 //	condenserd -addr :8080 -dim 7 -k 25
+//	condenserd -addr :8080 -dim 7 -k 25 -search kdtree -par 8
 //	condenserd -addr :8080 -resume checkpoint.bin
 //	condenserd -addr :8080 -dim 7 -debug-addr localhost:6060
 //
@@ -55,6 +56,8 @@ func run(args []string, stderr io.Writer, serve func(addr string, h http.Handler
 		k         = fs.Int("k", 10, "indistinguishability level")
 		seed      = fs.Uint64("seed", 1, "random seed for split-axis decisions")
 		batch     = fs.Int("batch", 10000, "maximum records per POST")
+		search    = fs.String("search", "auto", "neighbour-search backend: auto, scan-sort, quickselect, or kdtree")
+		parallel  = fs.Int("par", 0, "worker goroutines for batch routing and static sweeps (≤ 0 means NumCPU)")
 		resume    = fs.String("resume", "", "checkpoint file to restore state from")
 		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn, error, or off")
 		logFormat = fs.String("log-format", "text", "log format: text or json")
@@ -94,8 +97,14 @@ func run(args []string, stderr io.Writer, serve func(addr string, h http.Handler
 		fs.Usage()
 		return fmt.Errorf("-dim is required when not resuming from a checkpoint")
 	}
+	searchBackend, err := core.ParseNeighborSearch(*search)
+	if err != nil {
+		return fmt.Errorf("-search: %w", err)
+	}
 	condenser, err := core.NewCondenser(condenserK,
 		core.WithSeed(*seed), core.WithOptions(condenserOpts),
+		core.WithNeighborSearch(searchBackend),
+		core.WithParallelism(*parallel),
 		core.WithTelemetry(reg))
 	if err != nil {
 		return err

@@ -160,12 +160,14 @@ func (c *Condenser) StaticWithMembers(records []mat.Vector) (*Condensation, [][]
 
 // Dynamic returns an empty dynamic condenser (Figure 2) over records of
 // the given dimensionality, for pure-stream deployments with no initial
-// database.
+// database. The Condenser's neighbour-search backend and parallelism
+// configure the stream's centroid routing and AddBatch speculation.
 func (c *Condenser) Dynamic(dim int) (*Dynamic, error) {
 	d, err := NewDynamicEmpty(dim, c.k, c.opts, c.rng())
 	if err != nil {
 		return nil, err
 	}
+	d.setSearch(c.search)
 	d.SetTelemetry(c.tel)
 	return d, nil
 }
@@ -184,6 +186,7 @@ func (c *Condenser) DynamicFrom(initial *Condensation) (*Dynamic, error) {
 	}
 	d.k = c.k
 	d.opts = c.opts
+	d.setSearch(c.search)
 	d.SetTelemetry(c.tel)
 	return d, nil
 }
@@ -201,6 +204,7 @@ func (c *Condenser) Bootstrap(initial []mat.Vector) (*Dynamic, error) {
 	if err != nil {
 		return nil, err
 	}
+	d.setSearch(c.search)
 	d.SetTelemetry(c.tel)
 	return d, nil
 }

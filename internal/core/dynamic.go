@@ -12,6 +12,14 @@ import (
 	"condensation/internal/telemetry"
 )
 
+// searchSampleEvery is the sampling stride of the dynamic routing stage
+// timer: one in every searchSampleEvery routed records is timed. Two
+// time.Now() calls per record are measurable at high ingest rates, so the
+// histogram trades completeness for throughput — the sampled latencies
+// are representative (routing cost varies only with the group count,
+// which moves slowly) and the counters remain exact.
+const searchSampleEvery = 64
+
 // Dynamic maintains condensed groups over an incremental stream of records
 // (DynamicGroupMaintenance, Figure 2 of the paper). Each arriving record is
 // added to the group with the nearest centroid; as soon as a group reaches
@@ -19,6 +27,12 @@ import (
 // (SplitGroupStatistics), so every group holds between k and 2k−1 records
 // in steady state. Only aggregate statistics are retained — never the raw
 // stream records.
+//
+// Records are routed through a pluggable nearest-centroid router
+// (SetNeighborSearch): the paper's linear scan, or a maintained kd-index
+// that stays exact under centroid drift and splits. Batches ingest
+// fastest through AddBatch, which speculatively routes records in
+// parallel and applies them sequentially — bit-identical to an Add loop.
 type Dynamic struct {
 	k    int
 	dim  int
@@ -26,20 +40,27 @@ type Dynamic struct {
 	r    *rng.Source
 
 	groups    []*stats.Group
-	centroids []mat.Vector // cached, kept in sync with groups
+	centroids []mat.Vector // cached, updated in place, kept in sync with groups
 	met       engineMetrics
 	tel       *telemetry.Registry
+
+	search  searchConfig   // routing backend + batch speculation parallelism
+	router  centroidRouter // maintained nearest-centroid structure
+	routed  int            // records routed, for sampled stage timing
+	scratch batchScratch   // reusable AddBatch buffers
 }
 
-// SetTelemetry attaches a metrics registry: Add then counts stream
-// records and split events, times the nearest-centroid routing (the
-// dynamic engine's neighbour search) and the statistics splits, and keeps
-// a live group-count gauge. A nil registry disables recording. Telemetry
-// is observe-only and never touches the split-axis rng.
+// SetTelemetry attaches a metrics registry: Add and AddBatch then count
+// stream records and split events, time the nearest-centroid routing (the
+// dynamic engine's neighbour search — sampled one record in
+// searchSampleEvery for Add, once per batch for AddBatch, so steady-state
+// ingest pays no per-record clock reads) and the statistics splits, and
+// keep a live group-count gauge. A nil registry disables recording.
+// Telemetry is observe-only and never touches the split-axis rng.
 func (d *Dynamic) SetTelemetry(reg *telemetry.Registry) {
 	d.tel = reg
 	d.met = newEngineMetrics(reg)
-	d.met.withSearchBackend(reg, "centroid-scan")
+	d.met.withSearchBackend(reg, d.router.label())
 	d.met.groups.Set(float64(len(d.groups)))
 }
 
@@ -68,6 +89,7 @@ func NewDynamic(initial *Condensation, r *rng.Source) (*Dynamic, error) {
 		}
 		d.centroids[i] = m
 	}
+	d.initRouter()
 	return d, nil
 }
 
@@ -89,7 +111,9 @@ func NewDynamicEmpty(dim, k int, opts Options, r *rng.Source) (*Dynamic, error) 
 	if r == nil {
 		return nil, errors.New("core: nil random source")
 	}
-	return &Dynamic{k: k, dim: dim, opts: opts, r: r}, nil
+	d := &Dynamic{k: k, dim: dim, opts: opts, r: r}
+	d.initRouter()
+	return d, nil
 }
 
 // K returns the indistinguishability level.
@@ -111,57 +135,84 @@ func (d *Dynamic) TotalCount() int {
 	return n
 }
 
-// Add routes one stream record to the group with the nearest centroid and
-// splits that group if it reaches 2k records.
-func (d *Dynamic) Add(x mat.Vector) error {
+// validateRecord rejects records the engine cannot condense.
+func (d *Dynamic) validateRecord(x mat.Vector) error {
 	if len(x) != d.dim {
 		return fmt.Errorf("core: stream record dimension %d, want %d", len(x), d.dim)
 	}
 	if !x.IsFinite() {
 		return errors.New("core: stream record has non-finite values")
 	}
-	if len(d.groups) == 0 {
-		g := stats.NewGroup(d.dim)
-		if err := g.Add(x); err != nil {
-			return err
-		}
-		d.groups = append(d.groups, g)
-		m, err := g.Mean()
-		if err != nil {
-			return err
-		}
-		d.centroids = append(d.centroids, m)
-		d.met.streamRecords.Inc()
-		d.met.groupsFormed.Inc()
-		d.met.groups.Set(1)
-		return nil
-	}
+	return nil
+}
 
-	// Find the nearest centroid in H to X.
-	var t0 time.Time
-	if d.met.enabled {
-		t0 = time.Now()
+// Add routes one stream record to the group with the nearest centroid and
+// splits that group if it reaches 2k records.
+func (d *Dynamic) Add(x mat.Vector) error {
+	if err := d.validateRecord(x); err != nil {
+		return err
 	}
-	best, bestD := 0, x.DistSq(d.centroids[0])
-	for i := 1; i < len(d.centroids); i++ {
-		if dist := x.DistSq(d.centroids[i]); dist < bestD {
-			best, bestD = i, dist
-		}
+	if len(d.groups) == 0 {
+		return d.found(x)
 	}
-	if d.met.enabled {
-		d.met.search.ObserveSince(t0)
+	best := d.route(x)
+	if err := d.ingest(best, x); err != nil {
+		return err
 	}
-	g := d.groups[best]
+	d.met.streamRecords.Inc()
+	return nil
+}
+
+// found admits the very first stream record of an empty condenser: it
+// founds group 0.
+func (d *Dynamic) found(x mat.Vector) error {
+	g := stats.NewGroup(d.dim)
 	if err := g.Add(x); err != nil {
 		return err
 	}
+	d.groups = append(d.groups, g)
 	m, err := g.Mean()
 	if err != nil {
 		return err
 	}
-	d.centroids[best] = m
+	d.centroids = append(d.centroids, m)
+	d.router.add(0)
+	d.met.streamRecords.Inc()
+	d.met.groupsFormed.Inc()
+	d.met.groups.Set(1)
+	return nil
+}
+
+// route finds the nearest centroid in H to x through the configured
+// router, timing one record in searchSampleEvery.
+func (d *Dynamic) route(x mat.Vector) int {
+	d.routed++
+	if d.met.enabled && d.routed%searchSampleEvery == 1 {
+		t0 := time.Now()
+		best, _ := d.router.nearest(x)
+		d.met.search.ObserveSince(t0)
+		return best
+	}
+	best, _ := d.router.nearest(x)
+	return best
+}
+
+// ingest folds x into group best, refreshes the group's cached centroid in
+// place (no allocation), keeps the router in sync, and performs the
+// paper's split once the group reaches 2k records: delete M from H, add
+// M1 and M2 to H.
+func (d *Dynamic) ingest(best int, x mat.Vector) error {
+	g := d.groups[best]
+	if err := g.Add(x); err != nil {
+		return err
+	}
+	if err := g.MeanInto(d.centroids[best]); err != nil {
+		return err
+	}
+	d.router.update(best)
 
 	if g.N() == 2*d.k {
+		var t0 time.Time
 		if d.met.enabled {
 			t0 = time.Now()
 		}
@@ -169,18 +220,19 @@ func (d *Dynamic) Add(x mat.Vector) error {
 		if err != nil {
 			return fmt.Errorf("core: splitting group %d: %w", best, err)
 		}
-		c1, err := m1.Mean()
-		if err != nil {
+		d.groups[best] = m1
+		if err := m1.MeanInto(d.centroids[best]); err != nil {
 			return err
 		}
+		d.router.update(best)
 		c2, err := m2.Mean()
 		if err != nil {
 			return err
 		}
-		// Delete M from H; add M1 and M2 to H.
-		d.groups[best], d.centroids[best] = m1, c1
 		d.groups = append(d.groups, m2)
 		d.centroids = append(d.centroids, c2)
+		d.router.add(len(d.groups) - 1)
+		d.maybePromote()
 		if d.met.enabled {
 			d.met.split.ObserveSince(t0)
 		}
@@ -188,11 +240,11 @@ func (d *Dynamic) Add(x mat.Vector) error {
 		d.met.groupsFormed.Inc()
 		d.met.groups.Set(float64(len(d.groups)))
 	}
-	d.met.streamRecords.Inc()
 	return nil
 }
 
-// AddAll streams a batch of records through Add.
+// AddAll streams a batch of records through Add. For large batches,
+// AddBatch produces the identical condensation faster.
 func (d *Dynamic) AddAll(records []mat.Vector) error {
 	return d.AddAllContext(context.Background(), records)
 }

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"condensation/internal/mat"
+	"condensation/internal/par"
+)
+
+// batchScratch holds AddBatch's reusable buffers so steady-state batch
+// ingestion allocates nothing per record: candidate routes from the
+// speculation phase, the touched-group bitmap, and the changed-group list
+// of the apply phase.
+type batchScratch struct {
+	cand    []int
+	candD   []float64
+	touched []bool
+	changed []int
+}
+
+// routes returns candidate/distance slices of length n, reusing backing
+// storage across batches.
+func (s *batchScratch) routes(n int) ([]int, []float64) {
+	if cap(s.cand) < n {
+		s.cand = make([]int, n)
+		s.candD = make([]float64, n)
+	}
+	return s.cand[:n], s.candD[:n]
+}
+
+// touchedSet returns a cleared bitmap over n groups, reusing storage.
+func (s *batchScratch) touchedSet(n int) []bool {
+	if cap(s.touched) < n {
+		s.touched = make([]bool, n)
+	}
+	t := s.touched[:n]
+	for i := range t {
+		t[i] = false
+	}
+	return t
+}
+
+// AddBatch ingests a batch of records, producing the exact condensation a
+// sequential Add loop over the same records produces — bit-identical
+// groups, centroids, and rng stream — but routing the batch in parallel.
+// See AddBatchContext.
+func (d *Dynamic) AddBatch(records []mat.Vector) error {
+	return d.AddBatchContext(context.Background(), records)
+}
+
+// AddBatchContext is the dynamic engine's high-throughput ingest path. It
+// runs in two phases:
+//
+//  1. Speculation (parallel, read-only): every record is routed to its
+//     nearest centroid against the frozen pre-batch state, chunked across
+//     SetParallelism workers. Each worker writes disjoint slots, so the
+//     candidates are identical at every worker count.
+//  2. Apply (sequential, input order): each record is folded into its
+//     group exactly as Add would. A record's speculated candidate is kept
+//     only while the candidate group is untouched since speculation; the
+//     true nearest is then the lexicographic minimum of the candidate and
+//     the groups that changed during the batch (moved centroids and
+//     split-created groups), a set the loop tracks incrementally. A
+//     record whose candidate group itself changed is re-routed against
+//     the live router.
+//
+// The apply phase performs the same group updates, in the same order,
+// drawing from the same rng stream as a sequential Add loop, so the
+// result is bit-identical by construction at any parallelism and with any
+// routing backend (TestAddBatchEquivalence proves it byte for byte).
+//
+// Unlike AddAllContext, the whole batch is validated up front: a
+// malformed record rejects the batch before any record is admitted.
+// Cancellation is still checked between applies; records applied before
+// cancellation stay condensed.
+func (d *Dynamic) AddBatchContext(ctx context.Context, records []mat.Vector) error {
+	for i, x := range records {
+		if err := d.validateRecord(x); err != nil {
+			return fmt.Errorf("core: batch record %d: %w", i, err)
+		}
+	}
+	if len(records) == 0 {
+		return nil
+	}
+	head := 0
+	if len(d.groups) == 0 {
+		// Found the first group sequentially; the remainder speculates
+		// against it.
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: batch cancelled at record 0: %w", err)
+		}
+		if err := d.found(records[0]); err != nil {
+			return fmt.Errorf("core: batch record 0: %w", err)
+		}
+		head = 1
+	}
+	batch := records[head:]
+	if len(batch) == 0 {
+		return nil
+	}
+
+	// Phase 1: speculative routing against the frozen pre-batch state.
+	// Workers only read centroids and write disjoint candidate slots.
+	cand, candD := d.scratch.routes(len(batch))
+	workers := par.Workers(d.search.Parallelism)
+	var t0 time.Time
+	if d.met.enabled {
+		t0 = time.Now()
+	}
+	_ = par.RunChunks(len(batch), workers, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			cand[i], candD[i] = d.router.nearest(batch[i])
+		}
+		return nil
+	})
+	if d.met.enabled {
+		d.met.search.ObserveSince(t0)
+	}
+	d.routed += len(batch)
+
+	// Phase 2: sequential apply in input order.
+	touched := d.scratch.touchedSet(len(d.groups))
+	changed := d.scratch.changed[:0]
+	applied := 0
+	defer func() {
+		// Splits may have grown the slices past their scratch capacity;
+		// keep the grown backing arrays for the next batch.
+		d.scratch.touched = touched
+		d.scratch.changed = changed
+		d.met.streamRecords.Add(applied)
+	}()
+	for i, x := range batch {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: batch cancelled at record %d: %w", head+i, err)
+		}
+		best, bestD := cand[i], candD[i]
+		if touched[best] {
+			// The candidate group moved or split since speculation; its
+			// stored distance is stale, so re-route against the live state.
+			best, _ = d.router.nearest(x)
+		} else {
+			// The candidate still holds the lexicographic minimum over
+			// every unchanged group; only groups changed during this batch
+			// can beat it.
+			for _, g := range changed {
+				if dd := x.DistSq(d.centroids[g]); dd < bestD || (dd == bestD && g < best) {
+					best, bestD = g, dd
+				}
+			}
+		}
+		before := len(d.groups)
+		if err := d.ingest(best, x); err != nil {
+			return fmt.Errorf("core: batch record %d: %w", head+i, err)
+		}
+		applied++
+		if !touched[best] {
+			touched[best] = true
+			changed = append(changed, best)
+		}
+		if len(d.groups) > before {
+			// The split appended exactly one group, changed by definition.
+			touched = append(touched, true)
+			changed = append(changed, len(d.groups)-1)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+
+	"condensation/internal/knn"
+	"condensation/internal/mat"
+)
+
+// dynamicIndexCutoff is the group count at which SearchAuto stops scanning
+// centroids linearly and switches to the maintained kd-index: below it the
+// scan's tight loop wins, above it the index's pruned descent does. The
+// true crossover depends on how correlated the data is — a few hundred
+// groups when attributes are correlated (the regime the paper targets),
+// higher for isotropic noise where box pruning is weakest — so the cutoff
+// splits the difference; force SearchScanSort or SearchKDTree to pin a
+// backend. The switch is behaviour-neutral — both routers are exact with
+// the same (distance, id) tie-break — so the cutoff is purely a speed
+// knob.
+const dynamicIndexCutoff = 256
+
+// centroidRouter answers "which group centroid is nearest to x" for the
+// dynamic engine. Implementations must be exact and deterministic: nearest
+// returns the lexicographic (squared distance, group id) minimum — the
+// answer the paper's linear scan over H produces — so every router routes
+// every record identically and the condensed statistics are bit-identical
+// across backends. update/add keep the router in sync with the engine's
+// in-place centroid cache; nearest must be safe for concurrent callers
+// between mutations (AddBatch's speculation phase fans it out read-only).
+type centroidRouter interface {
+	// nearest returns the nearest centroid's group id and squared
+	// distance. The engine never calls it with zero groups.
+	nearest(x mat.Vector) (int, float64)
+	// update tells the router centroid id moved (d.centroids[id] holds
+	// the new position).
+	update(id int)
+	// add tells the router centroid id was appended.
+	add(id int)
+	// label names the backend for the neighbor_search telemetry series.
+	label() string
+}
+
+// scanRouter is the reference backend: the paper's linear scan over the
+// engine's live centroid cache. It keeps no state of its own, so update
+// and add are free; nearest costs O(G·d).
+type scanRouter struct{ d *Dynamic }
+
+func (s scanRouter) nearest(x mat.Vector) (int, float64) {
+	cents := s.d.centroids
+	best, bestD := 0, x.DistSq(cents[0])
+	for i := 1; i < len(cents); i++ {
+		if dist := x.DistSq(cents[i]); dist < bestD {
+			best, bestD = i, dist
+		}
+	}
+	return best, bestD
+}
+
+func (scanRouter) update(int) {}
+func (scanRouter) add(int)    {}
+
+func (scanRouter) label() string { return "centroid-scan" }
+
+// kdRouter answers queries from a knn.CentroidIndex: a kd-tree over a
+// centroid snapshot plus a linear "drifted since snapshot" list, rebuilt
+// when the list outgrows its threshold. Exactness and the (distance, id)
+// tie-break are the index's contract, proven against the scan by
+// TestCentroidIndexMatchesScan and TestAddBatchEquivalence.
+type kdRouter struct {
+	d   *Dynamic
+	idx *knn.CentroidIndex
+}
+
+func newKDRouter(d *Dynamic) *kdRouter {
+	idx, err := knn.NewCentroidIndex(d.dim, d.centroids)
+	if err != nil {
+		// Unreachable: the engine validated every centroid's dimension.
+		panic(fmt.Sprintf("core: building centroid index: %v", err))
+	}
+	return &kdRouter{d: d, idx: idx}
+}
+
+func (k *kdRouter) nearest(x mat.Vector) (int, float64) { return k.idx.Nearest(x) }
+
+func (k *kdRouter) update(id int) {
+	if err := k.idx.Update(id, k.d.centroids[id]); err != nil {
+		// Unreachable: ids are dense and dimensions fixed.
+		panic(fmt.Sprintf("core: centroid index update: %v", err))
+	}
+}
+
+func (k *kdRouter) add(id int) {
+	if _, err := k.idx.Add(k.d.centroids[id]); err != nil {
+		panic(fmt.Sprintf("core: centroid index add: %v", err))
+	}
+}
+
+func (*kdRouter) label() string { return "centroid-kdtree" }
+
+// initRouter (re)builds the router for the configured backend and the
+// current group count. SearchScanSort and SearchQuickselect both map to
+// the scan — centroid routing has nothing to sort or select — and
+// SearchAuto starts scanning, promoting to the kd-index once the group
+// count reaches dynamicIndexCutoff (maybePromote).
+func (d *Dynamic) initRouter() {
+	switch {
+	case d.search.Search == SearchKDTree,
+		d.search.Search == SearchAuto && len(d.groups) >= dynamicIndexCutoff:
+		d.router = newKDRouter(d)
+	default:
+		d.router = scanRouter{d}
+	}
+	d.met.withSearchBackend(d.tel, d.router.label())
+}
+
+// maybePromote upgrades an auto-configured scan router to the kd-index
+// once the group count crosses the cutoff. Called after every group
+// append; both routers are exact, so promotion never changes routing.
+func (d *Dynamic) maybePromote() {
+	if d.search.Search != SearchAuto || len(d.groups) < dynamicIndexCutoff {
+		return
+	}
+	if _, isScan := d.router.(scanRouter); isScan {
+		d.router = newKDRouter(d)
+		d.met.withSearchBackend(d.tel, d.router.label())
+	}
+}
+
+// SetNeighborSearch selects the nearest-centroid routing backend. The
+// scan and quickselect names map to the reference linear scan (routing
+// has no sort to skip); SearchKDTree forces the maintained centroid
+// index; SearchAuto (the default) scans while the group count is small
+// and promotes to the index at dynamicIndexCutoff groups. All backends
+// route identically — TestAddBatchEquivalence proves bit-identical
+// condensations — so this is purely a throughput knob.
+func (d *Dynamic) SetNeighborSearch(s NeighborSearch) error {
+	if err := s.validate(); err != nil {
+		return err
+	}
+	d.search.Search = s
+	d.initRouter()
+	return nil
+}
+
+// SetParallelism bounds the worker goroutines of AddBatch's speculative
+// routing phase; values < 1 (the default) mean runtime.NumCPU(). The
+// result is identical at every setting.
+func (d *Dynamic) SetParallelism(p int) { d.search.Parallelism = p }
+
+// setSearch installs the facade's search configuration.
+func (d *Dynamic) setSearch(cfg searchConfig) {
+	d.search = cfg
+	d.initRouter()
+}

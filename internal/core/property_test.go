@@ -92,6 +92,62 @@ func TestDynamicInvariantsProperty(t *testing.T) {
 	}
 }
 
+// Property: under arbitrary interleavings of Add and AddBatch — random
+// batch sizes, random routing backends, random speculation parallelism —
+// a dynamic condenser bootstrapped from a static condensation keeps every
+// group inside the paper's steady-state band k ≤ n(G) ≤ 2k−1 and never
+// loses a record. (Splits interleave implicitly: any group reaching 2k is
+// split on the spot, which is what makes the upper bound tight.)
+func TestDynamicInterleavingInvariantProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		d := 1 + r.IntN(4)
+		k := 2 + r.IntN(8)
+		base := randomRecords(r, k+r.IntN(4*k), d)
+		cond, err := Static(base, k, r.Split(), Options{})
+		if err != nil {
+			return false
+		}
+		dyn, err := NewDynamic(cond, r.Split())
+		if err != nil {
+			return false
+		}
+		backends := []NeighborSearch{SearchAuto, SearchScanSort, SearchKDTree}
+		if err := dyn.SetNeighborSearch(backends[r.IntN(len(backends))]); err != nil {
+			return false
+		}
+		dyn.SetParallelism(1 + r.IntN(8))
+		total := len(base)
+		for op := 0; op < 12; op++ {
+			if r.Bool(0.5) {
+				x := randomRecords(r, 1, d)[0]
+				if err := dyn.Add(x); err != nil {
+					return false
+				}
+				total++
+			} else {
+				batch := randomRecords(r, r.IntN(60), d)
+				if err := dyn.AddBatch(batch); err != nil {
+					return false
+				}
+				total += len(batch)
+			}
+		}
+		if dyn.TotalCount() != total {
+			return false
+		}
+		for _, g := range dyn.Condensation().Groups() {
+			if g.N() < k || g.N() > 2*k-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: synthesized data preserves each group's mean within the
 // standard error implied by the group's own spread, and the global moment
 // sums are finite and of the right cardinality.

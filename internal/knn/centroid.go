@@ -1,0 +1,418 @@
+package knn
+
+import (
+	"fmt"
+	"math"
+
+	"condensation/internal/mat"
+)
+
+// CentroidIndex is an exact nearest-neighbour index over a small, mutable
+// point set — the condensed-group centroids of the dynamic maintenance
+// algorithm. Unlike the static KDTree, its points move (every absorbed
+// record drifts one group mean) and new points appear (every split adds a
+// group), so the index combines three mechanisms:
+//
+//   - a bounding-box tree whose leaf coordinates are kept CURRENT: an
+//     in-tree update writes the moved point's coordinates straight into
+//     its leaf slot, so candidate distances are always exact. Only the
+//     node bounding boxes go stale; the search compensates by pruning
+//     with a drift-inflated radius — a subtree is skipped only when even
+//     a point that drifted the maximum accumulated ε outside its box
+//     could not beat the current best. Drift loosens pruning, never
+//     correctness.
+//   - a tombstone for any point that moved far (a group split relocates
+//     its centroid by a large jump): the point leaves the tree by having
+//     its leaf slot overwritten with +Inf coordinates — it then loses
+//     every distance comparison without the scan loop ever branching on
+//     a liveness flag — and joins a small "dirty" list answered by linear
+//     scan, so one big jump cannot blow up ε for everyone else. Points
+//     born after the last rebuild live on the same dirty list.
+//   - a threshold rebuild that re-files every point into reused buffers,
+//     emptying the dirty list and resetting ε.
+//
+// Every query returns the lexicographic (distance, id) minimum — precisely
+// the answer a single linear scan in id order produces — which is what
+// lets the dynamic engine swap this index in without changing a single
+// routed record.
+//
+// The tree splits each node's longest box extent at the median and stores
+// points in leaf buckets laid out contiguously in build order, so a leaf
+// scan is a sequential sweep of a flat coordinate array. Box pruning holds
+// up in the moderate dimensionalities of condensation workloads (≈5–60
+// attributes), where classic splitting-plane kd pruning decays into a full
+// scan. The tree is a flat arena of nodes, and every rebuild reuses all
+// storage, so steady-state maintenance (update, rebuild, query) allocates
+// nothing.
+//
+// CentroidIndex is not safe for concurrent mutation, but any number of
+// goroutines may call Nearest concurrently between mutations — queries
+// are read-only.
+type CentroidIndex struct {
+	dim    int
+	points []mat.Vector // current positions, owned copies
+	dirty  []int        // ids not answerable from the tree, scanned linearly
+	inTree []bool       // id -> answerable from the tree
+
+	drift   []float64 // id -> position drift accumulated since it was filed
+	eps     float64   // max drift over in-tree points (search inflation)
+	budget  float64   // per-point drift cap before tombstoning, from box scale
+	updates int       // in-tree updates since the last rebuild
+
+	// The tree, all storage reused across rebuilds.
+	nodes []ctNode  // arena, built depth-first
+	boxes []float64 // per node: dim mins then dim maxes, 2*dim*arena-index
+	flat  []float64 // leaf coordinates, contiguous in build order, kept current
+	perm  []int     // point ids in build order: leaf i covers perm[lo:hi]
+	slot  []int     // id -> build-order position in perm/flat
+	root  int       // arena index of the root, -1 when no tree
+}
+
+// ctNode is one arena node of the tree: a leaf owns the points perm[lo:hi]
+// (coordinates flat[lo*dim:hi*dim]); an internal node owns two children.
+type ctNode struct {
+	left, right int // arena indices, -1 on a leaf
+	lo, hi      int // leaf bucket bounds in perm
+}
+
+// centroidRebuildMin is the dirty-list length below which a dirty-driven
+// rebuild is never triggered: for tiny indexes the linear scan is at least
+// as fast as any tree, so rebuilding would be pure overhead.
+const centroidRebuildMin = 16
+
+// ctLeafSize is the maximum leaf bucket size: leaves are contiguous flat
+// sweeps and internal boxes cost a distance test per visit, so leaves are
+// kept fat enough that box tests don't dominate the visit budget.
+const ctLeafSize = 16
+
+// ctBudgetShrink divides the root box diagonal to set the per-point drift
+// budget: drifts up to diagonal/ctBudgetShrink ride in the tree (inflating
+// search radii by at most that much), larger jumps tombstone.
+const ctBudgetShrink = 128
+
+// NewCentroidIndex builds an index over copies of the given centroids
+// (later in-place mutation of the caller's vectors does not corrupt it).
+// An empty initial set is allowed; points are then supplied via Add.
+func NewCentroidIndex(dim int, centroids []mat.Vector) (*CentroidIndex, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("knn: centroid dimension %d, must be ≥ 1", dim)
+	}
+	c := &CentroidIndex{dim: dim, root: -1}
+	for i, p := range centroids {
+		if len(p) != dim {
+			return nil, fmt.Errorf("knn: centroid %d has dimension %d, want %d", i, len(p), dim)
+		}
+		c.points = append(c.points, p.Clone())
+		c.dirty = append(c.dirty, i)
+		c.inTree = append(c.inTree, false)
+		c.drift = append(c.drift, 0)
+	}
+	c.maybeRebuild()
+	return c, nil
+}
+
+// Len returns the number of indexed centroids.
+func (c *CentroidIndex) Len() int { return len(c.points) }
+
+// Dim returns the dimensionality of the indexed centroids.
+func (c *CentroidIndex) Dim() int { return c.dim }
+
+// Add appends a new centroid (copied) and returns its id. Ids are dense
+// and stable: the i-th Add (counting initial centroids) owns id i forever.
+func (c *CentroidIndex) Add(p mat.Vector) (int, error) {
+	if len(p) != c.dim {
+		return 0, fmt.Errorf("knn: centroid has dimension %d, want %d", len(p), c.dim)
+	}
+	id := len(c.points)
+	c.points = append(c.points, p.Clone())
+	c.inTree = append(c.inTree, false)
+	c.dirty = append(c.dirty, id)
+	c.drift = append(c.drift, 0)
+	c.maybeRebuild()
+	return id, nil
+}
+
+// Update records that centroid id has moved to p (copied). A move within
+// the drift budget keeps the point in its tree leaf with its coordinates
+// rewritten in place — distances stay exact, only its node boxes go stale
+// by at most the accumulated drift, which searches inflate pruning by —
+// while a large jump tombstones it onto the linear-scanned dirty list
+// until the next rebuild.
+func (c *CentroidIndex) Update(id int, p mat.Vector) error {
+	if id < 0 || id >= len(c.points) {
+		return fmt.Errorf("knn: centroid id %d out of range [0,%d)", id, len(c.points))
+	}
+	if len(p) != c.dim {
+		return fmt.Errorf("knn: centroid has dimension %d, want %d", len(p), c.dim)
+	}
+	if c.inTree[id] {
+		fp := c.flat[c.slot[id]*c.dim:]
+		fp = fp[:c.dim]
+		moved := c.drift[id] + math.Sqrt(p.DistSq(fp))
+		if moved > c.budget {
+			c.inTree[id] = false
+			c.dirty = append(c.dirty, id)
+			for j := range fp {
+				fp[j] = math.Inf(1) // loses every comparison from now on
+			}
+		} else {
+			c.drift[id] = moved
+			if moved > c.eps {
+				c.eps = moved
+			}
+			copy(fp, p)
+		}
+		c.updates++
+	}
+	copy(c.points[id], p)
+	c.maybeRebuild()
+	return nil
+}
+
+// maybeRebuild rebuilds the tree over current positions when enough has
+// changed to matter: the dirty list has outgrown an eighth of the point
+// set, or enough in-tree updates have accumulated that re-tightening the
+// boxes (and resetting the drift inflation ε) pays for the build. Both
+// triggers are floored so tiny indexes, where the linear scan wins anyway,
+// never rebuild. Rebuilding re-files every point into reused buffers.
+func (c *CentroidIndex) maybeRebuild() {
+	n := len(c.points)
+	dirtyTrigger := len(c.dirty) >= centroidRebuildMin && 8*len(c.dirty) >= n
+	updateTrigger := c.updates >= 4*centroidRebuildMin && 2*c.updates >= n
+	if !dirtyTrigger && !updateTrigger {
+		return
+	}
+	if cap(c.perm) < n {
+		c.perm = make([]int, n)
+		c.slot = make([]int, n)
+		c.flat = make([]float64, n*c.dim)
+	}
+	c.perm, c.slot, c.flat = c.perm[:n], c.slot[:n], c.flat[:n*c.dim]
+	for i := range c.perm {
+		c.perm[i] = i
+	}
+	c.nodes = c.nodes[:0]
+	c.boxes = c.boxes[:0]
+	c.root = c.buildTree(0, n)
+	// buildTree partitioned perm into leaf buckets; lay the coordinates
+	// out contiguously in that order so leaf scans sweep flat memory.
+	for i, id := range c.perm {
+		c.slot[id] = i
+		copy(c.flat[i*c.dim:], c.points[id])
+	}
+	c.dirty = c.dirty[:0]
+	for i := range c.inTree {
+		c.inTree[i] = true
+	}
+	for i := range c.drift {
+		c.drift[i] = 0
+	}
+	c.eps = 0
+	c.updates = 0
+	// Drift budget from the data's own scale: the root box diagonal.
+	var diagSq float64
+	rootBox := c.boxes[:2*c.dim]
+	for j := 0; j < c.dim; j++ {
+		e := rootBox[c.dim+j] - rootBox[j]
+		diagSq += e * e
+	}
+	c.budget = math.Sqrt(diagSq) / ctBudgetShrink
+}
+
+// buildTree appends the subtree over perm[lo:hi] to the arena and returns
+// its root's arena index: the node's bounding box is computed over its
+// points' current positions, and the box's longest extent is median-split
+// until buckets fit in a leaf.
+func (c *CentroidIndex) buildTree(lo, hi int) int {
+	ni := len(c.nodes)
+	c.nodes = append(c.nodes, ctNode{left: -1, right: -1, lo: lo, hi: hi})
+	// Bounding box over the bucket: dim mins, then dim maxes.
+	b := len(c.boxes)
+	first := c.points[c.perm[lo]]
+	c.boxes = append(c.boxes, first...)
+	c.boxes = append(c.boxes, first...)
+	box := c.boxes[b : b+2*c.dim]
+	for _, id := range c.perm[lo+1 : hi] {
+		for j, v := range c.points[id] {
+			if v < box[j] {
+				box[j] = v
+			}
+			if v > box[c.dim+j] {
+				box[c.dim+j] = v
+			}
+		}
+	}
+	if hi-lo <= ctLeafSize {
+		return ni
+	}
+	axis, extent := 0, box[c.dim]-box[0]
+	for j := 1; j < c.dim; j++ {
+		if e := box[c.dim+j] - box[j]; e > extent {
+			axis, extent = j, e
+		}
+	}
+	mid := (lo + hi) / 2
+	c.selectByAxis(c.perm[lo:hi], mid-lo, axis)
+	left := c.buildTree(lo, mid)
+	right := c.buildTree(mid, hi)
+	c.nodes[ni].left, c.nodes[ni].right = left, right
+	return ni
+}
+
+// selectByAxis partially sorts perm so perm[want] holds the element of
+// rank want by current coordinate along axis (Hoare quickselect with
+// median-of-three pivots; expected O(len)).
+func (c *CentroidIndex) selectByAxis(perm []int, want, axis int) {
+	key := func(i int) float64 { return c.points[perm[i]][axis] }
+	lo, hi := 0, len(perm)-1
+	for lo < hi {
+		// Median-of-three pivot: order lo, mid, hi, then use the middle.
+		mid := lo + (hi-lo)/2
+		if key(mid) < key(lo) {
+			perm[mid], perm[lo] = perm[lo], perm[mid]
+		}
+		if key(hi) < key(lo) {
+			perm[hi], perm[lo] = perm[lo], perm[hi]
+		}
+		if key(hi) < key(mid) {
+			perm[hi], perm[mid] = perm[mid], perm[hi]
+		}
+		pivot := key(mid)
+		i, j := lo, hi
+		for i <= j {
+			for key(i) < pivot {
+				i++
+			}
+			for key(j) > pivot {
+				j--
+			}
+			if i <= j {
+				perm[i], perm[j] = perm[j], perm[i]
+				i++
+				j--
+			}
+		}
+		if want <= j {
+			hi = j
+		} else if want >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}
+
+// ctQuery is the running state of one Nearest search: the lexicographic
+// best so far, plus the drift-inflated pruning bound (sqrt(bestD)+ε)²,
+// recomputed only when the best improves.
+type ctQuery struct {
+	q        mat.Vector
+	best     int
+	bestD    float64
+	eps      float64
+	inflated float64 // subtrees with boxDist above this cannot win
+}
+
+// improve folds candidate (id, d) into the lexicographic best; callers
+// may pre-filter on d <= bestD since anything above cannot win.
+func (s *ctQuery) improve(id int, d float64) {
+	if d < s.bestD {
+		s.bestD, s.best = d, id
+		if s.eps > 0 {
+			r := math.Sqrt(d) + s.eps
+			s.inflated = r * r
+		} else {
+			s.inflated = d
+		}
+	} else if d == s.bestD && id < s.best {
+		s.best = id
+	}
+}
+
+// Nearest returns the id of the centroid nearest to q and its squared
+// distance, breaking exact distance ties by the smaller id — the same
+// answer a linear scan in id order gives. It returns id −1 on an empty
+// index.
+func (c *CentroidIndex) Nearest(q mat.Vector) (int, float64) {
+	s := ctQuery{q: q, best: -1, bestD: math.Inf(1), eps: c.eps, inflated: math.Inf(1)}
+	if c.root >= 0 {
+		c.treeSearch(c.root, &s)
+	}
+	for _, id := range c.dirty {
+		if d := q.DistSq(c.points[id]); d < s.bestD || (d == s.bestD && id < s.best) {
+			s.best, s.bestD = id, d
+		}
+	}
+	return s.best, s.bestD
+}
+
+// boxDist returns the squared distance from q to node ni's bounding box
+// (zero inside the box) — a lower bound on the build-time distance to any
+// point of the subtree; points may since have drifted up to ε closer,
+// which the caller's inflated bound accounts for. Accumulation stops as
+// soon as the partial sum exceeds bound: the caller only compares the
+// result against bound, so any value above it is equivalent.
+func (c *CentroidIndex) boxDist(ni int, q mat.Vector, bound float64) float64 {
+	box := c.boxes[ni*2*c.dim:]
+	lo, hi := box[:len(q)], box[c.dim:c.dim+len(q)]
+	var s float64
+	for j, v := range q {
+		if l := lo[j]; v < l {
+			d := l - v
+			s += d * d
+		} else if h := hi[j]; v > h {
+			d := v - h
+			s += d * d
+		} else {
+			continue
+		}
+		if s > bound {
+			return s
+		}
+	}
+	return s
+}
+
+// treeSearch descends the tree for the live point minimizing the
+// lexicographic (squared distance, id) key, nearer child first, pruning
+// subtrees whose box cannot hold a point within the drift-inflated best
+// radius. Leaf coordinates are current (and +Inf for tombstones), so
+// candidate distances are exact with no liveness branch. A subtree is
+// still visited when its box bound exactly equals the inflated bound
+// (≤, not <): an equal-distance lower-id point may sit exactly on the
+// boundary, and routing equivalence needs the lowest id.
+func (c *CentroidIndex) treeSearch(ni int, s *ctQuery) {
+	node := &c.nodes[ni]
+	if node.left < 0 {
+		q := s.q
+		for i := node.lo; i < node.hi; i++ {
+			p := c.flat[i*c.dim:]
+			p = p[:len(q)]
+			var d float64
+			for j, v := range q {
+				e := v - p[j]
+				d += e * e
+			}
+			if d <= s.bestD {
+				s.improve(c.perm[i], d)
+			}
+		}
+		return
+	}
+	dl, dr := c.boxDist(node.left, s.q, s.inflated), c.boxDist(node.right, s.q, s.inflated)
+	if dl <= dr {
+		if dl <= s.inflated {
+			c.treeSearch(node.left, s)
+		}
+		if dr <= s.inflated {
+			c.treeSearch(node.right, s)
+		}
+	} else {
+		if dr <= s.inflated {
+			c.treeSearch(node.right, s)
+		}
+		if dl <= s.inflated {
+			c.treeSearch(node.left, s)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package knn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"condensation/internal/mat"
+	"condensation/internal/rng"
+)
+
+// scanNearestLex is the reference the index must match exactly: a linear
+// scan in id order keeping the strictly-smaller distance, whose winner is
+// the lexicographic (distance, id) minimum.
+func scanNearestLex(points []mat.Vector, q mat.Vector) (int, float64) {
+	best, bestD := -1, 0.0
+	for i, p := range points {
+		if d := q.DistSq(p); best == -1 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// Property: under arbitrary interleavings of Add, Update, and Nearest the
+// index answers every query exactly as the id-order linear scan does,
+// including distance ties (coordinates are drawn from a small integer grid
+// so exact ties are common).
+func TestCentroidIndexMatchesScan(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		dim := 1 + r.IntN(4)
+		n := 1 + r.IntN(60)
+		mirror := make([]mat.Vector, 0, n)
+		grid := func() mat.Vector {
+			x := make(mat.Vector, dim)
+			for j := range x {
+				x[j] = float64(r.IntN(5)) // small grid → frequent exact ties
+			}
+			return x
+		}
+		for i := 0; i < n; i++ {
+			mirror = append(mirror, grid())
+		}
+		idx, err := NewCentroidIndex(dim, mirror)
+		if err != nil {
+			return false
+		}
+		for step := 0; step < 150; step++ {
+			switch r.IntN(3) {
+			case 0: // add
+				p := grid()
+				mirror = append(mirror, p.Clone())
+				id, err := idx.Add(p)
+				if err != nil || id != len(mirror)-1 {
+					return false
+				}
+			case 1: // update
+				id := r.IntN(len(mirror))
+				p := grid()
+				copy(mirror[id], p)
+				if len(p) != dim {
+					return false
+				}
+				if err := idx.Update(id, p); err != nil {
+					return false
+				}
+			default: // query
+				q := grid()
+				wantID, wantD := scanNearestLex(mirror, q)
+				gotID, gotD := idx.Nearest(q)
+				if gotID != wantID || gotD != wantD {
+					return false
+				}
+			}
+		}
+		return idx.Len() == len(mirror)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCentroidIndexEmpty(t *testing.T) {
+	idx, err := NewCentroidIndex(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, _ := idx.Nearest(mat.Vector{0, 0}); id != -1 {
+		t.Errorf("Nearest on empty index = %d, want -1", id)
+	}
+	if _, err := idx.Add(mat.Vector{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if id, d := idx.Nearest(mat.Vector{1, 2}); id != 0 || d != 0 {
+		t.Errorf("Nearest = (%d, %g), want (0, 0)", id, d)
+	}
+}
+
+func TestCentroidIndexErrors(t *testing.T) {
+	if _, err := NewCentroidIndex(0, nil); err == nil {
+		t.Error("dim=0 accepted")
+	}
+	if _, err := NewCentroidIndex(2, []mat.Vector{{1}}); err == nil {
+		t.Error("mismatched initial centroid accepted")
+	}
+	idx, err := NewCentroidIndex(2, []mat.Vector{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.Add(mat.Vector{1}); err == nil {
+		t.Error("wrong-dimension Add accepted")
+	}
+	if err := idx.Update(0, mat.Vector{1}); err == nil {
+		t.Error("wrong-dimension Update accepted")
+	}
+	if err := idx.Update(5, mat.Vector{1, 2}); err == nil {
+		t.Error("out-of-range Update accepted")
+	}
+	if err := idx.Update(-1, mat.Vector{1, 2}); err == nil {
+		t.Error("negative Update accepted")
+	}
+}
+
+// The index does not alias caller storage: mutating the vectors passed to
+// the constructor, Add, or Update afterwards must not change answers.
+func TestCentroidIndexCopiesInputs(t *testing.T) {
+	p := mat.Vector{1, 1}
+	idx, err := NewCentroidIndex(2, []mat.Vector{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p[0] = 100
+	if _, d := idx.Nearest(mat.Vector{1, 1}); d != 0 {
+		t.Error("constructor aliased caller storage")
+	}
+	q := mat.Vector{5, 5}
+	if _, err := idx.Add(q); err != nil {
+		t.Fatal(err)
+	}
+	q[0] = -100
+	if id, d := idx.Nearest(mat.Vector{5, 5}); id != 1 || d != 0 {
+		t.Errorf("Add aliased caller storage: (%d, %g)", id, d)
+	}
+}
+
+// After enough updates to trigger threshold rebuilds, answers stay exact.
+func TestCentroidIndexRebuild(t *testing.T) {
+	r := rng.New(11)
+	dim := 3
+	mirror := make([]mat.Vector, 0, 400)
+	for i := 0; i < 400; i++ {
+		x := make(mat.Vector, dim)
+		for j := range x {
+			x[j] = r.Norm() * 10
+		}
+		mirror = append(mirror, x)
+	}
+	idx, err := NewCentroidIndex(dim, mirror)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.root < 0 {
+		t.Fatal("large initial set did not build a tree")
+	}
+	for step := 0; step < 2000; step++ {
+		id := r.IntN(len(mirror))
+		p := mat.Vector{r.Norm() * 10, r.Norm() * 10, r.Norm() * 10}
+		copy(mirror[id], p)
+		if err := idx.Update(id, p); err != nil {
+			t.Fatal(err)
+		}
+		if step%50 == 0 {
+			q := mat.Vector{r.Norm() * 10, r.Norm() * 10, r.Norm() * 10}
+			wantID, wantD := scanNearestLex(mirror, q)
+			gotID, gotD := idx.Nearest(q)
+			if gotID != wantID || gotD != wantD {
+				t.Fatalf("step %d: Nearest = (%d, %g), want (%d, %g)", step, gotID, gotD, wantID, wantD)
+			}
+		}
+	}
+	if len(idx.dirty) >= len(mirror) {
+		t.Error("dirty list never compacted by rebuilds")
+	}
+}

@@ -77,9 +77,12 @@ type Config struct {
 	Logger *slog.Logger
 }
 
-// Server is a thread-safe condensation HTTP service.
+// Server is a thread-safe condensation HTTP service. Ingestion takes the
+// write lock; snapshot, stats, checkpoint, and health handlers only read
+// the condensation and share an RLock, so reads never queue behind each
+// other — only behind an in-flight batch ingest.
 type Server struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	dyn      *core.Dynamic
 	k        int
 	dim      int
@@ -262,12 +265,15 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 		records[i] = v
 	}
 
-	// Ingest under the request context: if the client disconnects or the
-	// request deadline passes mid-batch, ingestion stops at a record
-	// boundary instead of holding the lock for the full batch.
+	// Ingest through the batch engine: records are speculatively routed in
+	// parallel and applied sequentially, bit-identical to a record-by-record
+	// Add loop but holding the write lock for far less wall-clock time. The
+	// request context still bounds the apply phase: if the client
+	// disconnects or the deadline passes mid-batch, ingestion stops at a
+	// record boundary instead of holding the lock for the full batch.
 	t0 := time.Now()
 	s.mu.Lock()
-	err := s.dyn.AddAllContext(r.Context(), records)
+	err := s.dyn.AddBatchContext(r.Context(), records)
 	groups := s.dyn.NumGroups()
 	s.mu.Unlock()
 	s.log.Debug("ingested batch",
@@ -310,9 +316,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		}
 		seed = v
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	cond := s.dyn.Condensation()
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if cond.TotalCount() == 0 {
 		writeError(w, http.StatusConflict, errors.New("no records condensed yet"))
 		return
@@ -347,9 +353,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	cond := s.dyn.Condensation()
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	resp := statsResponse{Dim: cond.Dim(), K: cond.K(), Groups: cond.NumGroups(), Records: cond.TotalCount()}
 	if cond.NumGroups() > 0 {
 		audit, err := privacy.AuditGroups(cond.Groups(), cond.K())
@@ -371,9 +377,9 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	cond := s.dyn.Condensation()
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if _, err := cond.WriteTo(w); err != nil {
 		// Headers are already sent; nothing more we can do than drop the
@@ -421,10 +427,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	groups := s.dyn.NumGroups()
 	records := s.dyn.TotalCount()
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	rev, vcsTime := buildVCS()
 	writeJSON(w, http.StatusOK, healthResponse{
 		Status:        "ok",

@@ -5,12 +5,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"condensation/internal/core"
+	"condensation/internal/mat"
 	"condensation/internal/rng"
 )
 
@@ -540,5 +542,114 @@ func TestConfigCondenser(t *testing.T) {
 	}
 	if sr.K != 4 || sr.Records != 30 {
 		t.Errorf("stats %+v, want k=4 records=30", sr)
+	}
+}
+
+// TestBatchIngestMatchesSequential pins the server's batch ingest to the
+// engine's determinism contract: the checkpoint after a POSTed batch is
+// byte-identical to a local condenser fed the same records one at a time.
+func TestBatchIngestMatchesSequential(t *testing.T) {
+	ts := newTestServer(t, 5)
+	records := genRecords(77, 400)
+	if resp := postRecords(t, ts, records); resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST status %d", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/v1/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := core.NewCondenser(5, core.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := c.Dynamic(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.SetNeighborSearch(core.SearchScanSort); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range records {
+		if err := ref.Add(mat.Vector(row)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want bytes.Buffer
+	if _, err := ref.Condensation().WriteTo(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Error("server batch-ingested checkpoint differs from sequential Add loop")
+	}
+}
+
+// TestConcurrentReadsAndWrites hammers the server with interleaved batch
+// POSTs and read-only GETs. Under -race this proves the RWMutex discipline:
+// reads share the lock among themselves and exclude in-flight ingests.
+func TestConcurrentReadsAndWrites(t *testing.T) {
+	ts := newTestServer(t, 4)
+	postRecords(t, ts, genRecords(50, 40)) // non-empty so snapshot serves
+
+	const writers, readers, rounds = 4, 6, 10
+	errs := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			for i := 0; i < rounds; i++ {
+				body, _ := json.Marshal(map[string]interface{}{"records": genRecords(uint64(100+w*rounds+i), 50)})
+				resp, err := http.Post(ts.URL+"/v1/records", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("POST status %d", resp.StatusCode)
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	paths := []string{"/v1/stats", "/healthz", "/v1/snapshot?seed=3", "/v1/checkpoint"}
+	for g := 0; g < readers; g++ {
+		go func(g int) {
+			for i := 0; i < rounds; i++ {
+				resp, err := http.Get(ts.URL + paths[(g+i)%len(paths)])
+				if err != nil {
+					errs <- err
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("GET %s status %d", paths[(g+i)%len(paths)], resp.StatusCode)
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	for i := 0; i < writers+readers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var sr statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if want := 40 + writers*rounds*50; sr.Records != want {
+		t.Errorf("after concurrent load: %d records, want %d", sr.Records, want)
 	}
 }

@@ -141,6 +141,26 @@ func (g *Group) Mean() (mat.Vector, error) {
 	return g.fs.Scale(1 / float64(g.n)), nil
 }
 
+// MeanInto writes the group centroid into dst without allocating. It is
+// the streaming hot path's update primitive: the dynamic engine folds a
+// record into a group and refreshes its cached centroid in place, so
+// steady-state ingestion performs no per-record allocation. The computed
+// values are bit-identical to Mean() — both scale Fs by the same
+// reciprocal — so cached and freshly-allocated centroids never diverge.
+func (g *Group) MeanInto(dst mat.Vector) error {
+	if len(dst) != g.dim {
+		return fmt.Errorf("stats: destination dimension %d, group dimension %d", len(dst), g.dim)
+	}
+	if g.n == 0 {
+		return errors.New("stats: mean of empty group")
+	}
+	inv := 1 / float64(g.n)
+	for i, f := range g.fs {
+		dst[i] = inv * f
+	}
+	return nil
+}
+
 // Covariance returns the population covariance matrix C(G) with entries
 // C_ij = Sc_ij/n − Fs_i·Fs_j/n² (Observation 2 of the paper). The matrix is
 // exactly symmetric; tiny negative diagonal entries arising from floating-

@@ -333,6 +333,54 @@ func TestGroupCovarianceSymmetricProperty(t *testing.T) {
 	}
 }
 
+// Property: MeanInto is bit-identical to Mean for arbitrary groups, so the
+// dynamic engine's in-place cached centroids can never diverge from
+// freshly-computed ones.
+func TestGroupMeanIntoMatchesMean(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		d := 1 + r.IntN(6)
+		n := 1 + r.IntN(40)
+		g := NewGroup(d)
+		for i := 0; i < n; i++ {
+			x := make(mat.Vector, d)
+			for j := range x {
+				x[j] = r.Uniform(-1e6, 1e6)
+			}
+			if err := g.Add(x); err != nil {
+				return false
+			}
+		}
+		want, err := g.Mean()
+		if err != nil {
+			return false
+		}
+		got := make(mat.Vector, d)
+		if err := g.MeanInto(got); err != nil {
+			return false
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupMeanIntoErrors(t *testing.T) {
+	g := NewGroup(3)
+	if err := g.MeanInto(make(mat.Vector, 2)); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if err := g.MeanInto(make(mat.Vector, 3)); err == nil {
+		t.Error("empty group accepted")
+	}
+}
+
 func BenchmarkGroupAdd34(b *testing.B) {
 	g := NewGroup(34)
 	x := make(mat.Vector, 34)

@@ -33,8 +33,15 @@ type Driver struct {
 	dyn *core.Dynamic
 	// Every n records, the driver records a Snapshot (0 disables).
 	SnapshotEvery int
-	snapshots     []Snapshot
-	seen          int
+	// BatchSize > 1 feeds the condenser through its batch engine
+	// (core.Dynamic.AddBatch) in chunks of at most BatchSize records, each
+	// chunk cut at the next snapshot boundary so the snapshot cadence is
+	// exactly that of per-record feeding. The condensation produced is
+	// bit-identical either way; batching only raises throughput. Values
+	// ≤ 1 feed record by record.
+	BatchSize int
+	snapshots []Snapshot
+	seen      int
 
 	log     *slog.Logger
 	rate    *telemetry.Gauge // records/sec over the last Feed call
@@ -94,6 +101,9 @@ func (d *Driver) FeedContext(ctx context.Context, records []mat.Vector) error {
 			d.rate.Set(float64(delivered) / elapsed)
 		}
 	}()
+	if d.BatchSize > 1 {
+		return d.feedBatched(ctx, records, t0, &delivered)
+	}
 	for i, x := range records {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("stream: cancelled at record %d: %w", i, err)
@@ -106,6 +116,38 @@ func (d *Driver) FeedContext(ctx context.Context, records []mat.Vector) error {
 		if d.SnapshotEvery > 0 && d.seen%d.SnapshotEvery == 0 {
 			d.takeSnapshot(t0, delivered)
 		}
+	}
+	return nil
+}
+
+// feedBatched is the BatchSize > 1 body of FeedContext: it cuts the stream
+// into chunks that never cross a snapshot boundary and ingests each
+// through the condenser's batch engine.
+func (d *Driver) feedBatched(ctx context.Context, records []mat.Vector, t0 time.Time, delivered *int) error {
+	for lo := 0; lo < len(records); {
+		hi := lo + d.BatchSize
+		if hi > len(records) {
+			hi = len(records)
+		}
+		if d.SnapshotEvery > 0 {
+			// End the chunk at the next snapshot boundary so batching never
+			// skips or delays a snapshot.
+			if next := lo + d.SnapshotEvery - d.seen%d.SnapshotEvery; next < hi {
+				hi = next
+			}
+		}
+		before := d.dyn.TotalCount()
+		err := d.dyn.AddBatchContext(ctx, records[lo:hi])
+		applied := d.dyn.TotalCount() - before
+		d.seen += applied
+		*delivered += applied
+		if err != nil {
+			return fmt.Errorf("stream: batch at record %d: %w", lo, err)
+		}
+		if d.SnapshotEvery > 0 && d.seen%d.SnapshotEvery == 0 {
+			d.takeSnapshot(t0, *delivered)
+		}
+		lo = hi
 	}
 	return nil
 }

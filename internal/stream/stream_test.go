@@ -268,3 +268,69 @@ func TestDriverLogger(t *testing.T) {
 		t.Errorf("missing progress message: %s", buf.String())
 	}
 }
+
+// TestDriverBatchedFeedEquivalence: feeding with any BatchSize produces the
+// identical condensation, seen count, and snapshot sequence as per-record
+// feeding — batching is a pure throughput knob.
+func TestDriverBatchedFeedEquivalence(t *testing.T) {
+	stream := records(7, 500)
+
+	feed := func(batch int) (*Driver, []byte) {
+		t.Helper()
+		d, err := NewDriver(newDynamic(t, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.SnapshotEvery = 64
+		d.BatchSize = batch
+		if err := d.Feed(stream); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := d.Condensation().WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return d, buf.Bytes()
+	}
+
+	ref, want := feed(0)
+	for _, batch := range []int{2, 50, 64, 100, 1000} {
+		d, got := feed(batch)
+		if !bytes.Equal(got, want) {
+			t.Errorf("BatchSize=%d: condensation differs from per-record feed", batch)
+		}
+		if d.Seen() != ref.Seen() {
+			t.Errorf("BatchSize=%d: seen %d, want %d", batch, d.Seen(), ref.Seen())
+		}
+		gotSnaps, wantSnaps := d.Snapshots(), ref.Snapshots()
+		if len(gotSnaps) != len(wantSnaps) {
+			t.Fatalf("BatchSize=%d: %d snapshots, want %d", batch, len(gotSnaps), len(wantSnaps))
+		}
+		for i := range gotSnaps {
+			if gotSnaps[i] != wantSnaps[i] {
+				t.Errorf("BatchSize=%d: snapshot %d = %+v, want %+v", batch, i, gotSnaps[i], wantSnaps[i])
+			}
+		}
+	}
+}
+
+// A cancelled context stops a batched feed at a record boundary and keeps
+// the delivered count honest.
+func TestDriverBatchedFeedCancelled(t *testing.T) {
+	d, err := NewDriver(newDynamic(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.BatchSize = 32
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := d.FeedContext(ctx, records(9, 100)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d.Seen() != d.Condensation().TotalCount() {
+		t.Errorf("seen %d but condensed %d", d.Seen(), d.Condensation().TotalCount())
+	}
+	if err := d.Feed(records(9, 100)); err != nil {
+		t.Fatal(err)
+	}
+}
