@@ -20,15 +20,19 @@
 //	-initial float  dynamic mode: initial static fraction (default 0.25)
 //	-search string  neighbour search: auto, scan-sort, quickselect, kdtree
 //	-par int        static distance-sweep parallelism (0 = all CPUs)
+//	-audit          print a per-class privacy-audit report (JSON) to stderr
+//	-trace-out file write a Chrome trace of the condensation pipeline
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"os"
 
+	"condensation/internal/audit"
 	"condensation/internal/core"
 	"condensation/internal/dataset"
 	"condensation/internal/telemetry"
@@ -58,6 +62,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		stats     = fs.String("stats", "", "optional file to write the per-class condensation statistics (the paper's H sets) to")
 		logLevel  = fs.String("log-level", "warn", "log level: debug, info, warn, error, or off")
 		logFormat = fs.String("log-format", "text", "log format: text or json")
+		auditFlag = fs.Bool("audit", false, "print a per-class privacy-audit report (JSON) to stderr")
+		traceOut  = fs.String("trace-out", "", "write a Chrome trace-event file of the condensation pipeline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,13 +109,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		// A one-shot pipeline run: sample everything.
+		tracer = telemetry.NewTracer(0, 1)
+	}
 	condenser, err := core.NewCondenser(*k,
 		core.WithSeed(*seed),
 		core.WithMode(condenseMode),
 		core.WithSynthesis(synthMode),
 		core.WithInitialFraction(*initial),
 		core.WithNeighborSearch(searchBackend),
-		core.WithParallelism(*par))
+		core.WithParallelism(*par),
+		core.WithTracer(tracer))
 	if err != nil {
 		return err
 	}
@@ -181,6 +193,59 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stderr, "  %s: %d records, %d groups, min group %d\n",
 			label, cr.Records, cr.Groups, cr.MinGroupSize)
+	}
+	if *auditFlag {
+		if err := printAudit(stderr, ds, report, *seed); err != nil {
+			return fmt.Errorf("audit: %w", err)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteChromeTrace(f, 0); err != nil {
+			f.Close()
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote pipeline trace to %s (%d spans)\n", *traceOut, tracer.Len())
+	}
+	return nil
+}
+
+// printAudit writes one privacy-audit report per condensed class to w as
+// indented JSON. The original records are at hand here (unlike the
+// server's reservoir), so the KS comparison uses every record of the
+// class. Static condensation folds sub-k remainders into their nearest
+// group, so the leftover count is always zero for this command.
+func printAudit(w io.Writer, ds *dataset.Dataset, report *core.Report, seed uint64) error {
+	byClass := ds.ByClass()
+	for _, cr := range report.Classes {
+		originals := ds.Records()
+		if cr.Label >= 0 {
+			idx := byClass[cr.Label]
+			sub, err := ds.Subset(idx)
+			if err != nil {
+				return err
+			}
+			originals = sub.Records()
+		}
+		rep, err := audit.Compute(cr.Cond, audit.Config{Original: originals, SynthSeed: seed})
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("class %d", cr.Label)
+		if cr.Label < 0 {
+			label = "all records"
+		}
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "privacy audit (%s):\n%s\n", label, out)
 	}
 	return nil
 }

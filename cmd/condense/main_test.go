@@ -132,6 +132,75 @@ func seq(n int) []int {
 	return out
 }
 
+// TestRunAuditFlag: -audit prints one JSON privacy report per class with
+// the size invariant intact and full-sample KS distances.
+func TestRunAuditFlag(t *testing.T) {
+	in := writeInput(t)
+	out := filepath.Join(t.TempDir(), "out.csv")
+	var stderr bytes.Buffer
+	err := run([]string{"-in", in, "-out", out, "-k", "5", "-audit"},
+		strings.NewReader(""), &bytes.Buffer{}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := stderr.String()
+	if n := strings.Count(got, "privacy audit (class "); n != 2 {
+		t.Fatalf("want 2 per-class audit reports, got %d:\n%s", n, got)
+	}
+	for _, want := range []string{
+		`"k_violations": 0`,
+		`"k_satisfied": true`,
+		`"ks"`,
+		`"original_sample": 40`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("audit output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunTraceOutFlag: -trace-out writes a Chrome trace of the static
+// pipeline without changing the anonymized output.
+func TestRunTraceOutFlag(t *testing.T) {
+	in := writeInput(t)
+	dir := t.TempDir()
+	plainOut := filepath.Join(dir, "plain.csv")
+	tracedOut := filepath.Join(dir, "traced.csv")
+	tracePath := filepath.Join(dir, "trace.json")
+	if err := run([]string{"-in", in, "-out", plainOut, "-k", "5", "-seed", "2"},
+		strings.NewReader(""), &bytes.Buffer{}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	if err := run([]string{"-in", in, "-out", tracedOut, "-k", "5", "-seed", "2", "-trace-out", tracePath},
+		strings.NewReader(""), &bytes.Buffer{}, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := os.ReadFile(plainOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := os.ReadFile(tracedOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, traced) {
+		t.Error("tracing changed the anonymized output")
+	}
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	for _, want := range []string{`"traceEvents"`, "static.condense"} {
+		if !strings.Contains(string(trace), want) {
+			t.Errorf("trace file missing %q", want)
+		}
+	}
+	if !strings.Contains(stderr.String(), "wrote pipeline trace") {
+		t.Errorf("stderr missing trace confirmation: %q", stderr.String())
+	}
+}
+
 func TestRunStatsOutput(t *testing.T) {
 	in := writeInput(t)
 	dir := t.TempDir()

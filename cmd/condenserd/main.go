@@ -9,14 +9,25 @@
 //	condenserd -addr :8080 -dim 7 -k 25 -search kdtree -par 8
 //	condenserd -addr :8080 -resume checkpoint.bin
 //	condenserd -addr :8080 -dim 7 -debug-addr localhost:6060
+//	condenserd -addr :8080 -dim 7 -trace-sample 100 -trace-out trace.json
 //
 // Endpoints: POST /v1/records, GET /v1/snapshot, GET /v1/stats,
-// GET /v1/checkpoint, GET /healthz, GET /metrics, GET /debug/vars
-// (see internal/server). With -debug-addr set, net/http/pprof profiling
-// endpoints are served on that separate (ideally loopback-only) address.
+// GET /v1/audit, GET /v1/checkpoint, GET /healthz, GET /metrics,
+// GET /debug/vars, GET /debug/trace (see internal/server). With
+// -debug-addr set, net/http/pprof profiling endpoints are served on that
+// separate (ideally loopback-only) address.
+//
+// A background auditor recomputes the privacy-audit report (group-size
+// invariant, SSE ratio, KS distances — see internal/audit) every
+// -audit-every and publishes it to /metrics; -audit-every 0 disables it.
+// With -trace-sample N > 0, 1 in N requests records a pipeline span tree,
+// exported live on /debug/trace and written as a Chrome trace-event file
+// to -trace-out on shutdown (SIGINT/SIGTERM shut the server down
+// gracefully).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +35,9 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"condensation/internal/core"
@@ -32,36 +46,55 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stderr, func(addr string, h http.Handler) error {
-		srv := &http.Server{
-			Addr:              addr,
-			Handler:           h,
-			ReadHeaderTimeout: 10 * time.Second,
-		}
-		return srv.ListenAndServe()
-	}); err != nil {
+	if err := run(os.Args[1:], os.Stderr, listenAndServe); err != nil {
 		fmt.Fprintf(os.Stderr, "condenserd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
+// listenAndServe serves h on addr until the context is cancelled (the
+// signal path), then drains in-flight requests with a bounded graceful
+// shutdown so post-serve work (the -trace-out write) still runs.
+func listenAndServe(ctx context.Context, addr string, h http.Handler) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutCtx)
+	}
+}
+
 // run builds the server and hands it to serve; serve is injected so tests
 // can intercept the handler instead of binding a port.
-func run(args []string, stderr io.Writer, serve func(addr string, h http.Handler) error) error {
+func run(args []string, stderr io.Writer, serve func(ctx context.Context, addr string, h http.Handler) error) error {
 	fs := flag.NewFlagSet("condenserd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr      = fs.String("addr", ":8080", "listen address")
-		dim       = fs.Int("dim", 0, "record dimensionality (required unless -resume)")
-		k         = fs.Int("k", 10, "indistinguishability level")
-		seed      = fs.Uint64("seed", 1, "random seed for split-axis decisions")
-		batch     = fs.Int("batch", 10000, "maximum records per POST")
-		search    = fs.String("search", "auto", "neighbour-search backend: auto, scan-sort, quickselect, or kdtree")
-		parallel  = fs.Int("par", 0, "worker goroutines for batch routing and static sweeps (≤ 0 means NumCPU)")
-		resume    = fs.String("resume", "", "checkpoint file to restore state from")
-		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn, error, or off")
-		logFormat = fs.String("log-format", "text", "log format: text or json")
-		debugAddr = fs.String("debug-addr", "", "optional separate listen address for net/http/pprof (keep it loopback-only)")
+		addr        = fs.String("addr", ":8080", "listen address")
+		dim         = fs.Int("dim", 0, "record dimensionality (required unless -resume)")
+		k           = fs.Int("k", 10, "indistinguishability level")
+		seed        = fs.Uint64("seed", 1, "random seed for split-axis decisions")
+		batch       = fs.Int("batch", 10000, "maximum records per POST")
+		search      = fs.String("search", "auto", "neighbour-search backend: auto, scan-sort, quickselect, or kdtree")
+		parallel    = fs.Int("par", 0, "worker goroutines for batch routing and static sweeps (≤ 0 means NumCPU)")
+		resume      = fs.String("resume", "", "checkpoint file to restore state from")
+		logLevel    = fs.String("log-level", "info", "log level: debug, info, warn, error, or off")
+		logFormat   = fs.String("log-format", "text", "log format: text or json")
+		debugAddr   = fs.String("debug-addr", "", "optional separate listen address for net/http/pprof (keep it loopback-only)")
+		auditEvery  = fs.Duration("audit-every", 30*time.Second, "privacy-audit recompute cadence (0 disables the background auditor)")
+		auditSample = fs.Int("audit-sample", 0, "reservoir capacity of original records kept for KS audits (0 = default, negative disables)")
+		traceSample = fs.Int("trace-sample", 0, "record a span tree for 1 in N requests (0 disables tracing)")
+		traceBuffer = fs.Int("trace-buffer", 0, "completed spans kept in the trace ring (0 = default)")
+		traceOut    = fs.String("trace-out", "", "write the recorded spans as a Chrome trace-event file on shutdown (implies -trace-sample 1 if unset)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,8 +104,22 @@ func run(args []string, stderr io.Writer, serve func(addr string, h http.Handler
 		return err
 	}
 	reg := telemetry.NewRegistry()
+	var tracer *telemetry.Tracer
+	if *traceOut != "" && *traceSample <= 0 {
+		// Asking for a trace file means asking for spans.
+		*traceSample = 1
+	}
+	if *traceSample > 0 {
+		tracer = telemetry.NewTracer(*traceBuffer, *traceSample)
+	}
 
-	cfg := server.Config{Dim: *dim, MaxBatch: *batch, Telemetry: reg, Logger: log}
+	cfg := server.Config{
+		Dim: *dim, MaxBatch: *batch,
+		Telemetry: reg, Logger: log,
+		Tracer:      tracer,
+		AuditSample: *auditSample,
+		AuditSeed:   *seed,
+	}
 	condenserK, condenserOpts := *k, core.Options{}
 	if *resume != "" {
 		f, err := os.Open(*resume)
@@ -105,7 +152,8 @@ func run(args []string, stderr io.Writer, serve func(addr string, h http.Handler
 		core.WithSeed(*seed), core.WithOptions(condenserOpts),
 		core.WithNeighborSearch(searchBackend),
 		core.WithParallelism(*parallel),
-		core.WithTelemetry(reg))
+		core.WithTelemetry(reg),
+		core.WithTracer(tracer))
 	if err != nil {
 		return err
 	}
@@ -118,8 +166,80 @@ func run(args []string, stderr io.Writer, serve func(addr string, h http.Handler
 	if *debugAddr != "" {
 		go serveDebug(*debugAddr, log)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var wg sync.WaitGroup
+	auditCtx, cancelAudit := context.WithCancel(ctx)
+	if *auditEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			auditLoop(auditCtx, s, *auditEvery, log)
+		}()
+	}
+
 	log.Info("condenserd listening", slog.String("addr", *addr))
-	return serve(*addr, s)
+	serveErr := serve(ctx, *addr, s)
+	cancelAudit()
+	wg.Wait()
+
+	if *traceOut != "" && tracer != nil {
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			log.Error("writing trace file", slog.String("error", err.Error()))
+			if serveErr == nil {
+				serveErr = err
+			}
+		} else {
+			log.Info("wrote trace file",
+				slog.String("file", *traceOut),
+				slog.Int("spans", tracer.Len()),
+				slog.Uint64("dropped", tracer.Dropped()))
+		}
+	}
+	return serveErr
+}
+
+// auditLoop recomputes the privacy audit on a fixed cadence until the
+// context is cancelled. Each pass publishes its gauges to the registry
+// (so /metrics stays fresh between /v1/audit calls) and logs a one-line
+// summary; failures are logged and the loop keeps going.
+func auditLoop(ctx context.Context, s *server.Server, every time.Duration, log *slog.Logger) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			rep, err := s.Audit()
+			if err != nil {
+				log.Error("privacy audit failed", slog.String("error", err.Error()))
+				continue
+			}
+			log.Info("privacy audit",
+				slog.Int("records", rep.Records),
+				slog.Int("groups", rep.Groups),
+				slog.Int("k_violations", rep.KViolations),
+				slog.Float64("sse_ratio", rep.SSERatio),
+				slog.Int("degenerate_groups", rep.DegenerateGroups))
+		}
+	}
+}
+
+// writeTrace dumps every span still in the tracer's ring to path as a
+// Chrome trace-event file (load it via chrome://tracing or Perfetto).
+func writeTrace(path string, tr *telemetry.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // serveDebug exposes the net/http/pprof profiling handlers on their own

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -10,6 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"condensation/internal/core"
 	"condensation/internal/mat"
@@ -21,11 +23,24 @@ import (
 func capture(t *testing.T, args []string) (http.Handler, error) {
 	t.Helper()
 	var handler http.Handler
-	err := run(args, &bytes.Buffer{}, func(addr string, h http.Handler) error {
+	err := run(args, &bytes.Buffer{}, func(ctx context.Context, addr string, h http.Handler) error {
 		handler = h
 		return nil
 	})
 	return handler, err
+}
+
+// serveWith runs run() with a serve function that exercises the handler
+// through a live httptest server while run's background machinery (the
+// audit loop, the trace writer) is active.
+func serveWith(t *testing.T, args []string, body func(ts *httptest.Server)) error {
+	t.Helper()
+	return run(args, &bytes.Buffer{}, func(ctx context.Context, addr string, h http.Handler) error {
+		ts := httptest.NewServer(h)
+		defer ts.Close()
+		body(ts)
+		return nil
+	})
 }
 
 func TestRunFresh(t *testing.T) {
@@ -155,6 +170,89 @@ func TestRunBadLogFlags(t *testing.T) {
 	} {
 		if _, err := capture(t, args); err == nil {
 			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestRunAuditLoop: with a short -audit-every, the background auditor
+// publishes the audit gauges to /metrics without anyone hitting /v1/audit.
+func TestRunAuditLoop(t *testing.T) {
+	err := serveWith(t, []string{"-dim", "2", "-k", "4", "-log-level", "off", "-audit-every", "20ms"},
+		func(ts *httptest.Server) {
+			resp, err := http.Post(ts.URL+"/v1/records", "application/json",
+				bytes.NewReader([]byte(`{"records":[[1,2],[3,4],[5,6],[7,8],[2,1],[4,3],[6,5],[8,7]]}`)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err != nil {
+					t.Fatal(err)
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if strings.Contains(string(body), "condense_audit_runs_total") &&
+					strings.Contains(string(body), "condense_audit_k_violations_total 0") {
+					return
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("audit loop never published metrics; /metrics:\n%s", body)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunTraceOut: -trace-out implies sampling, records request spans, and
+// writes a Chrome trace-event file once serve returns.
+func TestRunTraceOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	err := serveWith(t, []string{"-dim", "2", "-k", "3", "-log-level", "off",
+		"-audit-every", "0", "-trace-out", path},
+		func(ts *httptest.Server) {
+			resp, err := http.Post(ts.URL+"/v1/records", "application/json",
+				bytes.NewReader([]byte(`{"records":[[1,2],[3,4],[5,6],[7,8]]}`)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			// The live endpoint serves the same spans before shutdown.
+			resp, err = http.Get(ts.URL + "/debug/trace")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("/debug/trace status %d", resp.StatusCode)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"http /v1/records", "dynamic.add_batch"} {
+		if !names[want] {
+			t.Errorf("trace file missing %q span (got %v)", want, names)
 		}
 	}
 }

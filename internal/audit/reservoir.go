@@ -1,0 +1,88 @@
+package audit
+
+import (
+	"sync"
+
+	"condensation/internal/mat"
+	"condensation/internal/rng"
+)
+
+// Reservoir keeps a uniform random sample of the records offered to it
+// (Vitter's Algorithm R) so the auditor can compare original marginals
+// against synthesized ones without the collector retaining its full input.
+// The sample lives only inside the trusted collection boundary — reports
+// publish KS distances computed from it, never the records themselves.
+//
+// The sampler uses its own deterministic source, so sampling never touches
+// the engine's random stream, and a given seed + record sequence always
+// retains the same sample. Safe for concurrent use.
+type Reservoir struct {
+	mu     sync.Mutex
+	r      *rng.Source
+	sample []mat.Vector
+	seen   int
+	cap    int
+}
+
+// NewReservoir returns a reservoir holding up to capacity records;
+// capacity ≤ 0 disables the reservoir (Offer no-ops, Sample returns nil).
+func NewReservoir(capacity int, seed uint64) *Reservoir {
+	if capacity <= 0 {
+		return &Reservoir{}
+	}
+	return &Reservoir{
+		r:      rng.New(seed),
+		sample: make([]mat.Vector, 0, capacity),
+		cap:    capacity,
+	}
+}
+
+// Offer presents one record to the sampler. The record is cloned before it
+// is retained, so callers may reuse the backing slice. Nil-safe.
+func (rv *Reservoir) Offer(x mat.Vector) {
+	if rv == nil || rv.cap == 0 {
+		return
+	}
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	rv.seen++
+	if len(rv.sample) < rv.cap {
+		rv.sample = append(rv.sample, x.Clone())
+		return
+	}
+	// Algorithm R: the t-th record replaces a random slot with
+	// probability cap/t.
+	if j := rv.r.IntN(rv.seen); j < rv.cap {
+		rv.sample[j] = x.Clone()
+	}
+}
+
+// OfferAll offers a batch of records in order.
+func (rv *Reservoir) OfferAll(xs []mat.Vector) {
+	for _, x := range xs {
+		rv.Offer(x)
+	}
+}
+
+// Sample returns a copy of the current sample (the vectors are shared but
+// never mutated after retention). Nil-safe.
+func (rv *Reservoir) Sample() []mat.Vector {
+	if rv == nil || rv.cap == 0 {
+		return nil
+	}
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	out := make([]mat.Vector, len(rv.sample))
+	copy(out, rv.sample)
+	return out
+}
+
+// Seen returns the number of records offered so far. Nil-safe.
+func (rv *Reservoir) Seen() int {
+	if rv == nil || rv.cap == 0 {
+		return 0
+	}
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	return rv.seen
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -57,6 +58,10 @@ type AnonymizeConfig struct {
 	// metrics registry. Nil disables recording; the anonymized output is
 	// bit-identical either way.
 	Telemetry *telemetry.Registry
+	// Tracer optionally records sampled execution spans for the
+	// condensation and synthesis stages. Nil disables tracing; observe-only
+	// like Telemetry.
+	Tracer *telemetry.Tracer
 }
 
 // ClassReport describes the condensation of one class (or of the whole
@@ -224,7 +229,10 @@ func condenseRecords(recs []mat.Vector, cfg AnonymizeConfig, r *rng.Source) (*Co
 	search := searchConfig{Search: cfg.Search, Parallelism: cfg.Parallelism}
 	switch cfg.Mode {
 	case ModeStatic:
-		cond, _, err := staticCondense(recs, cfg.K, r, cfg.Options, search, cfg.Telemetry)
+		cond, _, err := staticCondense(context.Background(), recs, cfg.K, r, cfg.Options, search, cfg.Telemetry, cfg.Tracer)
+		if cond != nil {
+			cond.SetTracer(cfg.Tracer)
+		}
 		return cond, err
 	case ModeDynamic:
 		frac := cfg.InitialFraction
@@ -240,7 +248,7 @@ func condenseRecords(recs []mat.Vector, cfg AnonymizeConfig, r *rng.Source) (*Co
 		if initial > len(recs) {
 			initial = len(recs)
 		}
-		base, _, err := staticCondense(recs[:initial], cfg.K, r, cfg.Options, search, cfg.Telemetry)
+		base, _, err := staticCondense(context.Background(), recs[:initial], cfg.K, r, cfg.Options, search, cfg.Telemetry, cfg.Tracer)
 		if err != nil {
 			return nil, err
 		}
@@ -249,6 +257,7 @@ func condenseRecords(recs []mat.Vector, cfg AnonymizeConfig, r *rng.Source) (*Co
 			return nil, err
 		}
 		dyn.SetTelemetry(cfg.Telemetry)
+		dyn.SetTracer(cfg.Tracer)
 		if err := dyn.AddAll(recs[initial:]); err != nil {
 			return nil, err
 		}

@@ -28,6 +28,9 @@ type Condensation struct {
 	// met records stage timings during synthesis. Like par it is
 	// observe-only and lives outside Options; the zero value is disabled.
 	met engineMetrics
+	// tr records synthesis trace spans; nil disables tracing. Observe-only
+	// like met.
+	tr *telemetry.Tracer
 }
 
 // newCondensation wraps a set of groups. The groups are owned by the
@@ -47,6 +50,12 @@ func (c *Condensation) SetParallelism(p int) { c.par = p }
 // regeneration timings. A nil registry disables recording. Telemetry is
 // observe-only; the synthesized records are bit-identical either way.
 func (c *Condensation) SetTelemetry(reg *telemetry.Registry) { c.met = newEngineMetrics(reg) }
+
+// SetTracer attaches a span tracer: SynthesizeGrouped then records a
+// sampled span per synthesis pass. A nil tracer disables tracing. Like
+// SetTelemetry it is observe-only; the synthesized records are
+// bit-identical either way.
+func (c *Condensation) SetTracer(tr *telemetry.Tracer) { c.tr = tr }
 
 // Dim returns the attribute dimensionality.
 func (c *Condensation) Dim() int { return c.dim }
@@ -153,6 +162,9 @@ func (c *Condensation) SynthesizeGrouped(r *rng.Source) ([][]mat.Vector, error) 
 	if r == nil {
 		return nil, errors.New("core: nil random source")
 	}
+	sp := c.tr.StartChild(nil, "synthesize")
+	sp.SetAttrInt("groups", len(c.groups))
+	defer sp.End()
 	srcs := make([]*rng.Source, len(c.groups))
 	for gi := range srcs {
 		srcs[gi] = r.Split()

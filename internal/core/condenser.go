@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -39,6 +40,7 @@ type Condenser struct {
 	mode    Mode
 	initial float64
 	tel     *telemetry.Registry // nil means telemetry disabled
+	trace   *telemetry.Tracer   // nil means tracing disabled
 }
 
 // CondenserOption configures a Condenser.
@@ -107,6 +109,14 @@ func WithInitialFraction(f float64) CondenserOption {
 	return func(c *Condenser) { c.initial = f }
 }
 
+// WithTracer attaches a span tracer: static condensation, dynamic ingest,
+// and synthesis then record sampled execution spans into its ring buffer.
+// A nil tracer (the default) disables tracing. Tracing is observe-only —
+// it never touches the rng stream, so output is bit-identical either way.
+func WithTracer(tr *telemetry.Tracer) CondenserOption {
+	return func(c *Condenser) { c.trace = tr }
+}
+
 // NewCondenser builds a Condenser with indistinguishability level k. The
 // zero configuration reproduces the paper; see the type documentation.
 func NewCondenser(k int, opts ...CondenserOption) (*Condenser, error) {
@@ -147,7 +157,14 @@ func (c *Condenser) rng() *rng.Source {
 // Static condenses the records into groups of at least k (Figure 1) using
 // the configured neighbour-search backend and parallelism.
 func (c *Condenser) Static(records []mat.Vector) (*Condensation, error) {
-	cond, _, err := staticCondense(records, c.k, c.rng(), c.opts, c.search, c.tel)
+	return c.StaticContext(context.Background(), records)
+}
+
+// StaticContext is Static with a context: a span carried by ctx becomes
+// the parent of the pipeline's trace spans (the context is not consulted
+// for cancellation).
+func (c *Condenser) StaticContext(ctx context.Context, records []mat.Vector) (*Condensation, error) {
+	cond, _, err := staticCondense(ctx, records, c.k, c.rng(), c.opts, c.search, c.tel, c.trace)
 	return cond, err
 }
 
@@ -155,7 +172,7 @@ func (c *Condenser) Static(records []mat.Vector) (*Condensation, error) {
 // records each group condensed — for privacy evaluation and tests only;
 // membership must never leave the trusted collection boundary.
 func (c *Condenser) StaticWithMembers(records []mat.Vector) (*Condensation, [][]int, error) {
-	return staticCondense(records, c.k, c.rng(), c.opts, c.search, c.tel)
+	return staticCondense(context.Background(), records, c.k, c.rng(), c.opts, c.search, c.tel, c.trace)
 }
 
 // Dynamic returns an empty dynamic condenser (Figure 2) over records of
@@ -169,6 +186,7 @@ func (c *Condenser) Dynamic(dim int) (*Dynamic, error) {
 	}
 	d.setSearch(c.search)
 	d.SetTelemetry(c.tel)
+	d.SetTracer(c.trace)
 	return d, nil
 }
 
@@ -188,6 +206,7 @@ func (c *Condenser) DynamicFrom(initial *Condensation) (*Dynamic, error) {
 	d.opts = c.opts
 	d.setSearch(c.search)
 	d.SetTelemetry(c.tel)
+	d.SetTracer(c.trace)
 	return d, nil
 }
 
@@ -196,7 +215,7 @@ func (c *Condenser) DynamicFrom(initial *Condensation) (*Dynamic, error) {
 // one call.
 func (c *Condenser) Bootstrap(initial []mat.Vector) (*Dynamic, error) {
 	r := c.rng()
-	cond, _, err := staticCondense(initial, c.k, r, c.opts, c.search, c.tel)
+	cond, _, err := staticCondense(context.Background(), initial, c.k, r, c.opts, c.search, c.tel, c.trace)
 	if err != nil {
 		return nil, err
 	}
@@ -206,6 +225,7 @@ func (c *Condenser) Bootstrap(initial []mat.Vector) (*Dynamic, error) {
 	}
 	d.setSearch(c.search)
 	d.SetTelemetry(c.tel)
+	d.SetTracer(c.trace)
 	return d, nil
 }
 
@@ -221,6 +241,7 @@ func (c *Condenser) Anonymize(ds *dataset.Dataset) (*dataset.Dataset, *Report, e
 		Search:          c.search.Search,
 		Parallelism:     c.search.Parallelism,
 		Telemetry:       c.tel,
+		Tracer:          c.trace,
 	}
 	return Anonymize(ds, cfg, c.rng())
 }

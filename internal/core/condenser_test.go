@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -47,8 +48,8 @@ func TestSearchBackendEquivalence(t *testing.T) {
 		{35, 2, 50},  // fewer records than k: single undersized group
 	} {
 		records := gaussianRecords(uint64(tc.n)*31+uint64(tc.d), tc.n, tc.d)
-		reference, refMembers, err := staticCondense(records, tc.k, rng.New(9), Options{},
-			searchConfig{Search: SearchScanSort}, nil)
+		reference, refMembers, err := staticCondense(context.Background(), records, tc.k, rng.New(9), Options{},
+			searchConfig{Search: SearchScanSort}, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -43,6 +43,7 @@ type Dynamic struct {
 	centroids []mat.Vector // cached, updated in place, kept in sync with groups
 	met       engineMetrics
 	tel       *telemetry.Registry
+	tr        *telemetry.Tracer
 
 	search  searchConfig   // routing backend + batch speculation parallelism
 	router  centroidRouter // maintained nearest-centroid structure
@@ -63,6 +64,15 @@ func (d *Dynamic) SetTelemetry(reg *telemetry.Registry) {
 	d.met.withSearchBackend(reg, d.router.label())
 	d.met.groups.Set(float64(len(d.groups)))
 }
+
+// SetTracer attaches a span tracer: Add records a sampled per-record
+// ingest span (with a split child when the record triggers one), and
+// AddBatch records a batch span with speculation/apply phase children —
+// nested under the span in the caller's context, if any. A nil tracer
+// (the default) disables tracing; a disabled or unsampled record costs one
+// nil check and one atomic load, preserving the 0 allocs/record hot path.
+// Tracing is observe-only and never touches the split-axis rng.
+func (d *Dynamic) SetTracer(tr *telemetry.Tracer) { d.tr = tr }
 
 // NewDynamic creates a dynamic condenser seeded from a static condensation
 // of an initial database, per the paper's H = CreateCondensedGroups(k, D)
@@ -149,6 +159,20 @@ func (d *Dynamic) validateRecord(x mat.Vector) error {
 // Add routes one stream record to the group with the nearest centroid and
 // splits that group if it reaches 2k records.
 func (d *Dynamic) Add(x mat.Vector) error {
+	sp := d.tr.StartChild(nil, "dynamic.add")
+	if sp == nil {
+		return d.add(x, nil)
+	}
+	err := d.add(x, sp)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
+	return err
+}
+
+// add is Add's body, with sp the sampled per-record span (usually nil).
+func (d *Dynamic) add(x mat.Vector, sp *telemetry.Span) error {
 	if err := d.validateRecord(x); err != nil {
 		return err
 	}
@@ -156,7 +180,8 @@ func (d *Dynamic) Add(x mat.Vector) error {
 		return d.found(x)
 	}
 	best := d.route(x)
-	if err := d.ingest(best, x); err != nil {
+	sp.SetAttrInt("group", best)
+	if err := d.ingest(best, x, sp); err != nil {
 		return err
 	}
 	d.met.streamRecords.Inc()
@@ -200,8 +225,10 @@ func (d *Dynamic) route(x mat.Vector) int {
 // ingest folds x into group best, refreshes the group's cached centroid in
 // place (no allocation), keeps the router in sync, and performs the
 // paper's split once the group reaches 2k records: delete M from H, add
-// M1 and M2 to H.
-func (d *Dynamic) ingest(best int, x mat.Vector) error {
+// M1 and M2 to H. sp, when non-nil, is the enclosing trace span (the
+// sampled per-record span for Add, the apply-phase span for AddBatch); a
+// split then records a child span under it.
+func (d *Dynamic) ingest(best int, x mat.Vector, sp *telemetry.Span) error {
 	g := d.groups[best]
 	if err := g.Add(x); err != nil {
 		return err
@@ -216,6 +243,8 @@ func (d *Dynamic) ingest(best int, x mat.Vector) error {
 		if d.met.enabled {
 			t0 = time.Now()
 		}
+		splitSpan := childSpan(d.tr, sp, "dynamic.split")
+		splitSpan.SetAttrInt("group", best)
 		m1, m2, err := SplitGroup(g, d.k, d.opts.SplitAxis, d.r)
 		if err != nil {
 			return fmt.Errorf("core: splitting group %d: %w", best, err)
@@ -233,6 +262,7 @@ func (d *Dynamic) ingest(best int, x mat.Vector) error {
 		d.centroids = append(d.centroids, c2)
 		d.router.add(len(d.groups) - 1)
 		d.maybePromote()
+		splitSpan.End()
 		if d.met.enabled {
 			d.met.split.ObserveSince(t0)
 		}
@@ -274,5 +304,6 @@ func (d *Dynamic) Condensation() *Condensation {
 	}
 	cond := newCondensation(d.dim, d.k, d.opts, groups)
 	cond.met = d.met
+	cond.tr = d.tr
 	return cond
 }

@@ -101,10 +101,15 @@ func (d *Dynamic) AddBatchContext(ctx context.Context, records []mat.Vector) err
 		return nil
 	}
 
+	_, sp := d.tr.Start(ctx, "dynamic.add_batch")
+	sp.SetAttrInt("records", len(records))
+	defer sp.End()
+
 	// Phase 1: speculative routing against the frozen pre-batch state.
 	// Workers only read centroids and write disjoint candidate slots.
 	cand, candD := d.scratch.routes(len(batch))
 	workers := par.Workers(d.search.Parallelism)
+	specSpan := childSpan(d.tr, sp, "dynamic.speculate")
 	var t0 time.Time
 	if d.met.enabled {
 		t0 = time.Now()
@@ -118,9 +123,12 @@ func (d *Dynamic) AddBatchContext(ctx context.Context, records []mat.Vector) err
 	if d.met.enabled {
 		d.met.search.ObserveSince(t0)
 	}
+	specSpan.SetAttrInt("workers", workers)
+	specSpan.End()
 	d.routed += len(batch)
 
 	// Phase 2: sequential apply in input order.
+	applySpan := childSpan(d.tr, sp, "dynamic.apply")
 	touched := d.scratch.touchedSet(len(d.groups))
 	changed := d.scratch.changed[:0]
 	applied := 0
@@ -130,6 +138,8 @@ func (d *Dynamic) AddBatchContext(ctx context.Context, records []mat.Vector) err
 		d.scratch.touched = touched
 		d.scratch.changed = changed
 		d.met.streamRecords.Add(applied)
+		applySpan.SetAttrInt("applied", applied)
+		applySpan.End()
 	}()
 	for i, x := range batch {
 		if err := ctx.Err(); err != nil {
@@ -151,7 +161,7 @@ func (d *Dynamic) AddBatchContext(ctx context.Context, records []mat.Vector) err
 			}
 		}
 		before := len(d.groups)
-		if err := d.ingest(best, x); err != nil {
+		if err := d.ingest(best, x, applySpan); err != nil {
 			return fmt.Errorf("core: batch record %d: %w", head+i, err)
 		}
 		applied++

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -29,7 +30,7 @@ import (
 // ...).Static(records) — which also exposes the neighbour-search backend
 // and the parallelism of the distance sweep.
 func Static(records []mat.Vector, k int, r *rng.Source, opts Options) (*Condensation, error) {
-	cond, _, err := staticCondense(records, k, r, opts, searchConfig{}, nil)
+	cond, _, err := staticCondense(context.Background(), records, k, r, opts, searchConfig{}, nil, nil)
 	return cond, err
 }
 
@@ -41,7 +42,7 @@ func Static(records []mat.Vector, k int, r *rng.Source, opts Options) (*Condensa
 //
 // Deprecated: use NewCondenser(k, ...).StaticWithMembers(records).
 func StaticWithMembers(records []mat.Vector, k int, r *rng.Source, opts Options) (*Condensation, [][]int, error) {
-	return staticCondense(records, k, r, opts, searchConfig{}, nil)
+	return staticCondense(context.Background(), records, k, r, opts, searchConfig{}, nil, nil)
 }
 
 // staticCondense is the engine behind Static and Condenser.Static. Per
@@ -49,7 +50,10 @@ func StaticWithMembers(records []mat.Vector, k int, r *rng.Source, opts Options)
 // every search backend consumes the identical rng stream; with distinct
 // pairwise distances all backends therefore produce identical groups, with
 // members added in ascending-distance order.
-func staticCondense(records []mat.Vector, k int, r *rng.Source, opts Options, cfg searchConfig, tel *telemetry.Registry) (*Condensation, [][]int, error) {
+//
+// ctx is consulted only for a parent trace span; cancellation is not
+// checked (the static construction is one uninterruptible pass).
+func staticCondense(ctx context.Context, records []mat.Vector, k int, r *rng.Source, opts Options, cfg searchConfig, tel *telemetry.Registry, tr *telemetry.Tracer) (*Condensation, [][]int, error) {
 	if err := opts.validate(); err != nil {
 		return nil, nil, err
 	}
@@ -77,6 +81,12 @@ func staticCondense(records []mat.Vector, k int, r *rng.Source, opts Options, cf
 
 	met := newEngineMetrics(tel)
 	met.withSearchBackend(tel, searchBackendLabel(cfg.Search))
+
+	_, span := tr.Start(ctx, "static.condense")
+	span.SetAttrInt("records", len(records))
+	span.SetAttrInt("k", k)
+	span.SetAttr("backend", searchBackendLabel(cfg.Search))
+	defer span.End()
 
 	// k = 1 needs no neighbour search: every record is its own group. This
 	// is the paper's anchor case (static condensation at group size 1
@@ -107,6 +117,7 @@ func staticCondense(records []mat.Vector, k int, r *rng.Source, opts Options, cf
 	var groups []*stats.Group
 	var members [][]int
 	var t0 time.Time
+	loopSpan := childSpan(tr, span, "static.groups")
 	for search.remaining() >= k {
 		// Randomly sample a data point X from D, then pull X and its k−1
 		// closest remaining records out of the alive set.
@@ -135,9 +146,14 @@ func staticCondense(records []mat.Vector, k int, r *rng.Source, opts Options, cf
 		groups = append(groups, g)
 		members = append(members, group)
 	}
+	loopSpan.SetAttrInt("groups", len(groups))
+	loopSpan.End()
 
 	// Handle the final < k leftover records.
 	if leftover := search.leftover(); len(leftover) > 0 {
+		leftSpan := childSpan(tr, span, "static.leftover")
+		leftSpan.SetAttrInt("records", len(leftover))
+		defer leftSpan.End()
 		switch opts.Leftover {
 		case LeftoverNearestGroup:
 			if len(groups) == 0 {

@@ -10,10 +10,12 @@
 //	POST /v1/records    {"records": [[...], ...]}     add stream records
 //	GET  /v1/snapshot   ?seed=N                       synthesize anonymized records
 //	GET  /v1/stats                                    condensation statistics + audit
+//	GET  /v1/audit                                    anonymization-quality report
 //	GET  /v1/checkpoint                               binary condensation state (octet-stream)
 //	GET  /healthz                                     build info, uptime, live counts
 //	GET  /metrics                                     Prometheus text exposition
 //	GET  /debug/vars                                  expvar-style JSON metrics
+//	GET  /debug/trace   ?last=N                       Chrome trace-event JSON (when tracing on)
 //
 // Every endpoint runs behind telemetry middleware recording request
 // counts, an in-flight gauge, status-class counters, and a latency
@@ -34,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"condensation/internal/audit"
 	"condensation/internal/core"
 	"condensation/internal/mat"
 	"condensation/internal/privacy"
@@ -75,7 +78,22 @@ type Config struct {
 	// Logger receives structured request-independent events (startup,
 	// ingest summaries). Nil means logging is off.
 	Logger *slog.Logger
+	// Tracer optionally records sampled request/ingest spans, served as
+	// Chrome trace-event JSON from /debug/trace. Nil disables tracing (and
+	// the /debug/trace endpoint answers 404).
+	Tracer *telemetry.Tracer
+	// AuditSample bounds the reservoir of original records retained (inside
+	// the trusted collection boundary only) for the audit's marginal KS
+	// comparison. 0 means the default 2048; negative disables the reservoir,
+	// in which case audits omit the KS block.
+	AuditSample int
+	// AuditSeed seeds the audit's private synthesis draw and the reservoir
+	// sampler (default 1). Independent of the engine's seed.
+	AuditSeed uint64
 }
+
+// defaultAuditSample is the reservoir capacity when Config.AuditSample is 0.
+const defaultAuditSample = 2048
 
 // Server is a thread-safe condensation HTTP service. Ingestion takes the
 // write lock; snapshot, stats, checkpoint, and health handlers only read
@@ -92,6 +110,16 @@ type Server struct {
 	log      *slog.Logger
 	start    time.Time
 	inFlight *telemetry.Gauge
+	tr       *telemetry.Tracer
+
+	// reservoir samples original records for the audit's KS comparison;
+	// auditSeed seeds the audit's private synthesis draw.
+	reservoir *audit.Reservoir
+	auditSeed uint64
+
+	// Build identity, read once at construction (ReadBuildInfo walks the
+	// embedded module table — too expensive to redo per /healthz probe).
+	buildRevision, buildTime string
 }
 
 // New builds a server.
@@ -130,27 +158,45 @@ func New(cfg Config) (*Server, error) {
 		reg = telemetry.NewRegistry()
 	}
 	dyn.SetTelemetry(reg)
-	s := &Server{
-		dyn:      dyn,
-		k:        dyn.K(),
-		dim:      dyn.Dim(),
-		maxBatch: cfg.MaxBatch,
-		mux:      http.NewServeMux(),
-		reg:      reg,
-		log:      cfg.Logger,
-		start:    time.Now(),
-		inFlight: reg.Gauge("http_in_flight"),
+	dyn.SetTracer(cfg.Tracer)
+	sampleCap := cfg.AuditSample
+	if sampleCap == 0 {
+		sampleCap = defaultAuditSample
 	}
+	if sampleCap < 0 {
+		sampleCap = 0
+	}
+	auditSeed := cfg.AuditSeed
+	if auditSeed == 0 {
+		auditSeed = 1
+	}
+	s := &Server{
+		dyn:       dyn,
+		k:         dyn.K(),
+		dim:       dyn.Dim(),
+		maxBatch:  cfg.MaxBatch,
+		mux:       http.NewServeMux(),
+		reg:       reg,
+		log:       cfg.Logger,
+		start:     time.Now(),
+		inFlight:  reg.Gauge("http_in_flight"),
+		tr:        cfg.Tracer,
+		reservoir: audit.NewReservoir(sampleCap, auditSeed),
+		auditSeed: auditSeed,
+	}
+	s.buildRevision, s.buildTime = buildVCS()
 	if s.log == nil {
 		s.log = telemetry.Nop()
 	}
 	s.route("/v1/records", s.handleRecords)
 	s.route("/v1/snapshot", s.handleSnapshot)
 	s.route("/v1/stats", s.handleStats)
+	s.route("/v1/audit", s.handleAudit)
 	s.route("/v1/checkpoint", s.handleCheckpoint)
 	s.route("/healthz", s.handleHealth)
 	s.route("/metrics", s.handleMetrics)
 	s.route("/debug/vars", s.handleVars)
+	s.route("/debug/trace", s.handleTrace)
 	return s, nil
 }
 
@@ -163,15 +209,25 @@ func (s *Server) route(path string, h http.HandlerFunc) {
 	requests4xx := s.reg.Counter("http_requests_total", "path", path, "code", "4xx")
 	requests5xx := s.reg.Counter("http_requests_total", "path", path, "code", "5xx")
 	latency := s.reg.Histogram("http_request_seconds", nil, "path", path)
+	spanName := "http " + path
 	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		s.inFlight.Add(1)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		// The request span is the root of this request's trace tree; the
+		// span-carrying context flows into the handler so engine spans
+		// (dynamic.add_batch and children) nest under it.
+		ctx, span := s.tr.Start(r.Context(), spanName)
+		if span != nil {
+			r = r.WithContext(ctx)
+		}
 		// Deferred so a panicking handler (recovered per-connection by
 		// net/http) still decrements the in-flight gauge and is counted.
 		defer func() {
 			s.inFlight.Add(-1)
 			latency.ObserveSince(t0)
+			span.SetAttrInt("status", sw.status)
+			span.End()
 			switch {
 			case sw.status >= 500:
 				requests5xx.Inc()
@@ -291,6 +347,10 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	// Feed the audit reservoir outside the engine lock: a uniform sample of
+	// the accepted originals, retained only for the audit's marginal-KS
+	// comparison and never served.
+	s.reservoir.OfferAll(records)
 	writeJSON(w, http.StatusOK, recordsResponse{Accepted: len(records), Groups: groups})
 }
 
@@ -431,12 +491,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	groups := s.dyn.NumGroups()
 	records := s.dyn.TotalCount()
 	s.mu.RUnlock()
-	rev, vcsTime := buildVCS()
 	writeJSON(w, http.StatusOK, healthResponse{
 		Status:        "ok",
 		GoVersion:     runtime.Version(),
-		VCSRevision:   rev,
-		VCSTime:       vcsTime,
+		VCSRevision:   s.buildRevision,
+		VCSTime:       s.buildTime,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Dim:           s.dim,
 		K:             s.k,
@@ -463,4 +522,65 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = s.reg.WriteJSON(w)
+}
+
+// Audit runs one anonymization-quality pass over a snapshot of the live
+// condensation (taken under the read lock) and publishes the result into
+// the server's metrics registry, so /v1/audit and /metrics always agree.
+// It is what the /v1/audit handler and condenserd's background auditor
+// both call.
+func (s *Server) Audit() (*audit.Report, error) {
+	s.mu.RLock()
+	cond := s.dyn.Condensation()
+	s.mu.RUnlock()
+	// Leftovers only arise when a static bootstrap folded sub-k remainders
+	// into nearest groups; the engine's counter carries that count forward.
+	leftovers := int(s.reg.Counter("condense_leftover_records_total").Value())
+	rep, err := audit.Compute(cond, audit.Config{
+		Original:  s.reservoir.Sample(),
+		SynthSeed: s.auditSeed,
+		Leftovers: leftovers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Publish(s.reg)
+	return rep, nil
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	rep, err := s.Audit()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	if s.tr == nil {
+		writeError(w, http.StatusNotFound, errors.New("tracing not enabled (start with -trace-sample > 0)"))
+		return
+	}
+	last := 0
+	if q := r.URL.Query().Get("last"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad last %q", q))
+			return
+		}
+		last = v
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.tr.WriteChromeTrace(w, last)
 }

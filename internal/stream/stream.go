@@ -47,6 +47,7 @@ type Driver struct {
 	rate    *telemetry.Gauge // records/sec over the last Feed call
 	churn   *telemetry.Gauge // net group-count change over the last Feed call
 	records *telemetry.Counter
+	tr      *telemetry.Tracer
 }
 
 // NewDriver wraps a dynamic condenser.
@@ -67,6 +68,13 @@ func (d *Driver) SetTelemetry(reg *telemetry.Registry) {
 	d.churn = reg.Gauge("stream_group_churn")
 	d.records = reg.Counter("stream_records_total")
 }
+
+// SetTracer attaches a span tracer: each Feed/FeedContext call then
+// records a sampled "stream.feed" span (with per-snapshot children), and
+// the condenser's ingest spans nest under it when the same tracer is
+// attached to the condenser (core.WithTracer). A nil tracer disables the
+// driver's spans. Observe-only, like SetTelemetry.
+func (d *Driver) SetTracer(tr *telemetry.Tracer) { d.tr = tr }
 
 // SetLogger attaches a structured logger: the driver then emits one
 // progress line per recorded snapshot (so SnapshotEvery doubles as the
@@ -89,6 +97,9 @@ func (d *Driver) Feed(records []mat.Vector) error {
 // cancellation stay condensed and counted; the driver can keep feeding
 // afterwards with a live context.
 func (d *Driver) FeedContext(ctx context.Context, records []mat.Vector) error {
+	ctx, span := d.tr.Start(ctx, "stream.feed")
+	span.SetAttrInt("records", len(records))
+	defer span.End()
 	t0 := time.Now()
 	groups0 := d.dyn.NumGroups()
 	delivered := 0
@@ -114,7 +125,7 @@ func (d *Driver) FeedContext(ctx context.Context, records []mat.Vector) error {
 		d.seen++
 		delivered++
 		if d.SnapshotEvery > 0 && d.seen%d.SnapshotEvery == 0 {
-			d.takeSnapshot(t0, delivered)
+			d.takeSnapshot(ctx, t0, delivered)
 		}
 	}
 	return nil
@@ -145,15 +156,19 @@ func (d *Driver) feedBatched(ctx context.Context, records []mat.Vector, t0 time.
 			return fmt.Errorf("stream: batch at record %d: %w", lo, err)
 		}
 		if d.SnapshotEvery > 0 && d.seen%d.SnapshotEvery == 0 {
-			d.takeSnapshot(t0, *delivered)
+			d.takeSnapshot(ctx, t0, *delivered)
 		}
 		lo = hi
 	}
 	return nil
 }
 
-func (d *Driver) takeSnapshot(feedStart time.Time, delivered int) {
+func (d *Driver) takeSnapshot(ctx context.Context, feedStart time.Time, delivered int) {
+	_, span := d.tr.Start(ctx, "stream.snapshot")
+	defer span.End()
 	snap := d.dyn.Condensation()
+	span.SetAttrInt("seen", d.seen)
+	span.SetAttrInt("groups", snap.NumGroups())
 	d.snapshots = append(d.snapshots, Snapshot{
 		Seen:         d.seen,
 		Groups:       snap.NumGroups(),
