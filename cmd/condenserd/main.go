@@ -7,6 +7,7 @@
 //
 //	condenserd -addr :8080 -dim 7 -k 25
 //	condenserd -addr :8080 -dim 7 -k 25 -search kdtree -par 8
+//	condenserd -addr :8080 -dim 7 -k 25 -shards 4
 //	condenserd -addr :8080 -resume checkpoint.bin
 //	condenserd -addr :8080 -dim 7 -debug-addr localhost:6060
 //	condenserd -addr :8080 -dim 7 -trace-sample 100 -trace-out trace.json
@@ -82,6 +83,7 @@ func run(args []string, stderr io.Writer, serve func(ctx context.Context, addr s
 		addr        = fs.String("addr", ":8080", "listen address")
 		dim         = fs.Int("dim", 0, "record dimensionality (required unless -resume)")
 		k           = fs.Int("k", 10, "indistinguishability level")
+		shards      = fs.Int("shards", 1, "independent condenser shards (1 = single unsharded engine)")
 		seed        = fs.Uint64("seed", 1, "random seed for split-axis decisions")
 		batch       = fs.Int("batch", 10000, "maximum records per POST")
 		search      = fs.String("search", "auto", "neighbour-search backend: auto, scan-sort, quickselect, or kdtree")
@@ -113,8 +115,11 @@ func run(args []string, stderr io.Writer, serve func(ctx context.Context, addr s
 		tracer = telemetry.NewTracer(*traceBuffer, *traceSample)
 	}
 
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be ≥ 1, got %d", *shards)
+	}
 	cfg := server.Config{
-		Dim: *dim, MaxBatch: *batch,
+		Dim: *dim, Shards: *shards, MaxBatch: *batch,
 		Telemetry: reg, Logger: log,
 		Tracer:      tracer,
 		AuditSample: *auditSample,

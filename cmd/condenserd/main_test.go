@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -280,5 +281,89 @@ func TestRunSearchFlag(t *testing.T) {
 	}
 	if _, err := capture(t, []string{"-dim", "2", "-search", "ball-tree"}); err == nil {
 		t.Error("unknown -search backend accepted")
+	}
+}
+
+// TestRunShards covers the -shards flag: a sharded daemon reports its
+// shard count on /healthz, advances every shard's stream counter, holds
+// k_violations at 0, and rejects nonsensical shard counts before
+// listening.
+func TestRunShards(t *testing.T) {
+	h, err := capture(t, []string{"-dim", "2", "-k", "4", "-shards", "4", "-log-level", "off"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	records := make([][]float64, 200)
+	r := rng.New(3)
+	for i := range records {
+		records[i] = []float64{r.Norm(), r.Norm()}
+	}
+	body, err := json.Marshal(map[string]interface{}{"records": records})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/records", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Shards  int `json:"shards"`
+		Records int `json:"records"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.Shards != 4 || health.Records != 200 {
+		t.Fatalf("healthz %+v", health)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		KViolations int `json:"k_violations"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&rep)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.KViolations != 0 {
+		t.Fatalf("k_violations = %d", rep.KViolations)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		want := `condense_stream_records_total{shard="` + strconv.Itoa(i) + `"}`
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+
+	if _, err := capture(t, []string{"-dim", "2", "-shards", "0"}); err == nil {
+		t.Error("-shards 0 accepted")
 	}
 }

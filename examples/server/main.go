@@ -1,9 +1,11 @@
 // Server: the condensation approach as a running data-collection service.
-// The example starts the condensation HTTP server on a loopback port,
-// plays the roles of data contributors (posting batches of records) and
-// of an analyst (fetching privacy statistics and an anonymized snapshot),
-// then checkpoints the server state — all over the same HTTP API that
-// cmd/condenserd serves in production.
+// The example starts the condensation HTTP server on a loopback port with a
+// sharded engine (four independent condenser shards behind deterministic
+// record routing), plays the roles of data contributors (posting batches of
+// records) and of an analyst (fetching merged and per-shard privacy
+// statistics and an anonymized snapshot), then checkpoints the server
+// state — all over the same HTTP API that cmd/condenserd serves in
+// production with -shards 4.
 package main
 
 import (
@@ -26,7 +28,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := server.New(server.Config{Dim: 7, Condenser: condenser})
+	srv, err := server.New(server.Config{Dim: 7, Condenser: condenser, Shards: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,33 +64,45 @@ func main() {
 		var rr struct {
 			Accepted int `json:"accepted"`
 			Groups   int `json:"groups"`
+			Splits   int `json:"splits"`
 		}
 		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
 			log.Fatal(err)
 		}
 		resp.Body.Close()
-		fmt.Printf("posted %d records → %d groups\n", rr.Accepted, rr.Groups)
+		fmt.Printf("posted %d records → %d groups after %d splits\n", rr.Accepted, rr.Groups, rr.Splits)
 	}
 
 	// Analyst: check the privacy audit, then pull an anonymized snapshot.
-	resp, err := http.Get(base + "/v1/stats")
+	resp, err := http.Get(base + "/v1/stats?by_shard")
 	if err != nil {
 		log.Fatal(err)
 	}
 	var stats struct {
+		Shards       int     `json:"shards"`
 		Groups       int     `json:"groups"`
 		Records      int     `json:"records"`
 		MinGroupSize int     `json:"min_group_size"`
 		MaxGroupSize int     `json:"max_group_size"`
 		AvgGroupSize float64 `json:"avg_group_size"`
 		KSatisfied   bool    `json:"k_satisfied"`
+		ByShard      []struct {
+			Shard      int  `json:"shard"`
+			Groups     int  `json:"groups"`
+			Records    int  `json:"records"`
+			KSatisfied bool `json:"k_satisfied"`
+		} `json:"by_shard"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		log.Fatal(err)
 	}
 	resp.Body.Close()
-	fmt.Printf("audit: %d records in %d groups, sizes [%d, %d], k satisfied: %v\n",
-		stats.Records, stats.Groups, stats.MinGroupSize, stats.MaxGroupSize, stats.KSatisfied)
+	fmt.Printf("audit: %d records in %d groups over %d shards, sizes [%d, %d], k satisfied: %v\n",
+		stats.Records, stats.Groups, stats.Shards, stats.MinGroupSize, stats.MaxGroupSize, stats.KSatisfied)
+	for _, sh := range stats.ByShard {
+		fmt.Printf("  shard %d: %d records in %d groups, k satisfied: %v\n",
+			sh.Shard, sh.Records, sh.Groups, sh.KSatisfied)
+	}
 
 	resp, err = http.Get(base + "/v1/snapshot?seed=11")
 	if err != nil {

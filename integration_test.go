@@ -342,3 +342,81 @@ func TestMomentPreservationEndToEnd(t *testing.T) {
 		}
 	}
 }
+
+// TestPipelineShardedStream runs the sharded deployment end to end: a
+// 4-shard engine fed through the generic stream driver, the merged
+// condensation audited for the k-invariant, reproduced bit for bit on a
+// second engine, then synthesized and classified.
+func TestPipelineShardedStream(t *testing.T) {
+	ds := datagen.TwoGaussians(115, 400, 4, 8)
+	const k, shards = 8, 4
+
+	run := func(t *testing.T) (*core.Sharded, *core.Condensation) {
+		t.Helper()
+		condenser, err := core.NewCondenser(k, core.WithSeed(116))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := condenser.Sharded(len(ds.Attrs), shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		driver, err := stream.NewDriver(eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		driver.BatchSize = 64
+		if err := driver.Feed(stream.Shuffled(ds.X, rng.New(117))); err != nil {
+			t.Fatal(err)
+		}
+		if driver.Seen() != ds.Len() {
+			t.Fatalf("driver saw %d records, want %d", driver.Seen(), ds.Len())
+		}
+		return eng, driver.Condensation()
+	}
+
+	eng, cond := run(t)
+	audit, err := privacy.AuditGroups(cond.Groups(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !audit.Satisfied() || audit.MaxSize >= 2*k {
+		t.Fatalf("merged audit violated: %+v", audit)
+	}
+	for i := 0; i < eng.NumShards(); i++ {
+		sa, err := privacy.AuditGroups(eng.Shard(i).Groups(), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sa.Satisfied() {
+			t.Fatalf("shard %d audit violated: %+v", i, sa)
+		}
+	}
+
+	_, cond2 := run(t)
+	var a, b bytes.Buffer
+	if _, err := cond.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cond2.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("sharded stream pipeline is not reproducible")
+	}
+
+	synth, err := cond.Synthesize(rng.New(118))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(synth) != ds.Len() {
+		t.Fatalf("synthesized %d records, want %d", len(synth), ds.Len())
+	}
+	mu, err := metrics.CovarianceCompatibility(ds.X, synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu < 0.95 {
+		t.Errorf("µ = %.4f after sharded streaming, want ≥ 0.95", mu)
+	}
+}

@@ -41,8 +41,11 @@ type Dynamic struct {
 
 	groups    []*stats.Group
 	centroids []mat.Vector // cached, updated in place, kept in sync with groups
+	total     int          // cached running record count (Σ g.N()), updated on ingest
+	splits    int          // group splits performed so far
 	met       engineMetrics
 	tel       *telemetry.Registry
+	telLabels []string // label pairs applied to every engine series (sharding)
 	tr        *telemetry.Tracer
 
 	search  searchConfig   // routing backend + batch speculation parallelism
@@ -59,9 +62,18 @@ type Dynamic struct {
 // keep a live group-count gauge. A nil registry disables recording.
 // Telemetry is observe-only and never touches the split-axis rng.
 func (d *Dynamic) SetTelemetry(reg *telemetry.Registry) {
+	d.setTelemetryLabeled(reg)
+}
+
+// setTelemetryLabeled is SetTelemetry with extra label pairs stamped onto
+// every engine series — the sharded engine passes shard="i" so per-shard
+// rates stay separable. The labels are retained so a later routing-backend
+// change re-registers the search series with them intact.
+func (d *Dynamic) setTelemetryLabeled(reg *telemetry.Registry, labels ...string) {
 	d.tel = reg
-	d.met = newEngineMetrics(reg)
-	d.met.withSearchBackend(reg, d.router.label())
+	d.telLabels = labels
+	d.met = newEngineMetrics(reg, labels...)
+	d.met.withSearchBackend(reg, d.router.label(), labels...)
 	d.met.groups.Set(float64(len(d.groups)))
 }
 
@@ -98,6 +110,7 @@ func NewDynamic(initial *Condensation, r *rng.Source) (*Dynamic, error) {
 			return nil, fmt.Errorf("core: initial group %d: %w", i, err)
 		}
 		d.centroids[i] = m
+		d.total += g.N()
 	}
 	d.initRouter()
 	return d, nil
@@ -135,15 +148,28 @@ func (d *Dynamic) Dim() int { return d.dim }
 // NumGroups returns the current number of groups.
 func (d *Dynamic) NumGroups() int { return len(d.groups) }
 
-// TotalCount returns the number of records condensed so far, summed over
-// the live group statistics (no snapshot copy).
-func (d *Dynamic) TotalCount() int {
-	var n int
-	for _, g := range d.groups {
-		n += g.N()
+// TotalCount returns the number of records condensed so far. The count is
+// maintained incrementally on ingest (splits conserve it), so frequent
+// health and stats reads never scan the group list under the serving lock.
+func (d *Dynamic) TotalCount() int { return d.total }
+
+// Splits returns the number of group splits performed so far.
+func (d *Dynamic) Splits() int { return d.splits }
+
+// NumShards returns 1: a Dynamic is a single shard.
+func (d *Dynamic) NumShards() int { return 1 }
+
+// Shard snapshots shard i; only Shard(0) exists and equals Condensation().
+func (d *Dynamic) Shard(i int) *Condensation {
+	if i != 0 {
+		panic(fmt.Sprintf("core: shard %d out of range on a single-shard engine", i))
 	}
-	return n
+	return d.Condensation()
 }
+
+// Synchronized reports false: Dynamic performs no locking of its own, so
+// callers sharing it across goroutines must serialize access themselves.
+func (d *Dynamic) Synchronized() bool { return false }
 
 // validateRecord rejects records the engine cannot condense.
 func (d *Dynamic) validateRecord(x mat.Vector) error {
@@ -202,6 +228,7 @@ func (d *Dynamic) found(x mat.Vector) error {
 	}
 	d.centroids = append(d.centroids, m)
 	d.router.add(0)
+	d.total++
 	d.met.streamRecords.Inc()
 	d.met.groupsFormed.Inc()
 	d.met.groups.Set(1)
@@ -233,6 +260,7 @@ func (d *Dynamic) ingest(best int, x mat.Vector, sp *telemetry.Span) error {
 	if err := g.Add(x); err != nil {
 		return err
 	}
+	d.total++
 	if err := g.MeanInto(d.centroids[best]); err != nil {
 		return err
 	}
@@ -266,6 +294,7 @@ func (d *Dynamic) ingest(best int, x mat.Vector, sp *telemetry.Span) error {
 		if d.met.enabled {
 			d.met.split.ObserveSince(t0)
 		}
+		d.splits++
 		d.met.splitEvents.Inc()
 		d.met.groupsFormed.Inc()
 		d.met.groups.Set(float64(len(d.groups)))

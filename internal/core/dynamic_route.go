@@ -110,7 +110,7 @@ func (d *Dynamic) initRouter() {
 	default:
 		d.router = scanRouter{d}
 	}
-	d.met.withSearchBackend(d.tel, d.router.label())
+	d.met.withSearchBackend(d.tel, d.router.label(), d.telLabels...)
 }
 
 // maybePromote upgrades an auto-configured scan router to the kd-index
@@ -122,7 +122,7 @@ func (d *Dynamic) maybePromote() {
 	}
 	if _, isScan := d.router.(scanRouter); isScan {
 		d.router = newKDRouter(d)
-		d.met.withSearchBackend(d.tel, d.router.label())
+		d.met.withSearchBackend(d.tel, d.router.label(), d.telLabels...)
 	}
 }
 

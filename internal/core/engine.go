@@ -1,0 +1,85 @@
+package core
+
+import (
+	"context"
+
+	"condensation/internal/mat"
+	"condensation/internal/telemetry"
+)
+
+// Engine is the serving contract of a dynamic condenser: the full method
+// set the HTTP server, the stream driver, and the daemon depend on. Two
+// implementations exist:
+//
+//   - *Dynamic: one condenser (one lock domain, managed by the caller). It
+//     is NOT safe for concurrent use — callers that share it across
+//     goroutines must serialize access themselves (Synchronized reports
+//     false so generic callers know to).
+//   - *Sharded: N independent Dynamic shards behind deterministic
+//     record→shard routing, each guarded by its own lock. It is safe for
+//     concurrent use (Synchronized reports true), and ingestion scales
+//     across cores because concurrent batches only contend per shard.
+//
+// Every implementation preserves the paper's invariants: groups hold
+// between k and 2k−1 records in steady state, only aggregate statistics
+// are retained, and the same seed (and, for Sharded, the same shard
+// count) reproduces the same condensed state bit for bit.
+type Engine interface {
+	// Add routes one stream record to the group with the nearest centroid
+	// (within the record's shard) and splits that group if it reaches 2k
+	// records.
+	Add(x mat.Vector) error
+	// AddAll streams a batch of records through Add, in order.
+	AddAll(records []mat.Vector) error
+	// AddAllContext is AddAll with cancellation between records.
+	AddAllContext(ctx context.Context, records []mat.Vector) error
+	// AddBatch ingests a batch through the high-throughput path,
+	// bit-identical to an Add loop over the same records.
+	AddBatch(records []mat.Vector) error
+	// AddBatchContext is AddBatch with cancellation at record boundaries.
+	AddBatchContext(ctx context.Context, records []mat.Vector) error
+
+	// Condensation snapshots the current groups as an immutable
+	// Condensation (for Sharded, the per-shard group sets merged in shard
+	// order — a stable, reproducible ordering).
+	Condensation() *Condensation
+	// K returns the indistinguishability level.
+	K() int
+	// Dim returns the attribute dimensionality.
+	Dim() int
+	// NumGroups returns the current number of groups across all shards.
+	NumGroups() int
+	// TotalCount returns the number of records condensed so far.
+	TotalCount() int
+	// Splits returns the number of group splits performed so far.
+	Splits() int
+
+	// NumShards returns the number of independent shards (1 for Dynamic).
+	NumShards() int
+	// Shard snapshots the groups of one shard as an immutable
+	// Condensation. Shard(0) on a single-shard engine equals
+	// Condensation(). It panics when i is out of range — shard indices
+	// come from NumShards, not from untrusted input.
+	Shard(i int) *Condensation
+
+	// Synchronized reports whether the engine performs its own locking.
+	// Callers serving a non-synchronized engine to concurrent clients
+	// must wrap calls in their own mutex (the server does).
+	Synchronized() bool
+
+	// SetTelemetry attaches a metrics registry (nil disables recording).
+	SetTelemetry(reg *telemetry.Registry)
+	// SetTracer attaches a span tracer (nil disables tracing).
+	SetTracer(tr *telemetry.Tracer)
+	// SetNeighborSearch selects the nearest-centroid routing backend.
+	SetNeighborSearch(s NeighborSearch) error
+	// SetParallelism bounds the worker goroutines of batch speculation;
+	// values < 1 mean runtime.NumCPU().
+	SetParallelism(p int)
+}
+
+// Both engines implement the full serving contract.
+var (
+	_ Engine = (*Dynamic)(nil)
+	_ Engine = (*Sharded)(nil)
+)

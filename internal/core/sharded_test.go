@@ -1,0 +1,398 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"condensation/internal/mat"
+	"condensation/internal/rng"
+	"condensation/internal/telemetry"
+)
+
+// checkpointBytes serializes an engine's merged snapshot — the exact
+// byte-level fingerprint the reproducibility contract is stated over.
+func checkpointBytes(t *testing.T, eng Engine) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := eng.Condensation().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestEngineInterfaceEquivalence is the compatibility contract of the
+// sharded engine: a 1-shard Sharded is bit-identical to a Dynamic built
+// from the same Condenser configuration — same groups, centroids, rng
+// stream, and serialized snapshot — through both the Add loop and the
+// batch path, from empty and from a static bootstrap.
+func TestEngineInterfaceEquivalence(t *testing.T) {
+	const k, dim = 6, 4
+	stream := gaussianRecords(7, 900, dim)
+	initial, err := Static(gaussianRecords(8, 120, dim), k, rng.New(9), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	build := func(t *testing.T, sharded, fromInitial bool) Engine {
+		t.Helper()
+		c, err := NewCondenser(k, WithSeed(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eng Engine
+		switch {
+		case sharded && fromInitial:
+			eng, err = c.ShardedFrom(initial, 1)
+		case sharded:
+			eng, err = c.Sharded(dim, 1)
+		case fromInitial:
+			eng, err = c.DynamicFrom(initial)
+		default:
+			eng, err = c.Dynamic(dim)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+
+	for _, tc := range []struct {
+		name        string
+		fromInitial bool
+		batch       bool
+	}{
+		{"empty/add", false, false},
+		{"empty/batch", false, true},
+		{"bootstrap/add", true, false},
+		{"bootstrap/batch", true, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dyn := build(t, false, tc.fromInitial)
+			shd := build(t, true, tc.fromInitial)
+			for _, eng := range []Engine{dyn, shd} {
+				var err error
+				if tc.batch {
+					err = eng.AddBatch(stream)
+				} else {
+					err = eng.AddAll(stream)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got, want := checkpointBytes(t, shd), checkpointBytes(t, dyn); !bytes.Equal(got, want) {
+				t.Fatalf("1-shard Sharded snapshot differs from Dynamic (%d vs %d bytes)", len(got), len(want))
+			}
+			if shd.TotalCount() != dyn.TotalCount() || shd.NumGroups() != dyn.NumGroups() || shd.Splits() != dyn.Splits() {
+				t.Fatalf("counters differ: sharded (n=%d g=%d s=%d) vs dynamic (n=%d g=%d s=%d)",
+					shd.TotalCount(), shd.NumGroups(), shd.Splits(),
+					dyn.TotalCount(), dyn.NumGroups(), dyn.Splits())
+			}
+			if shd.NumShards() != 1 || !shd.Synchronized() || dyn.Synchronized() {
+				t.Fatal("capability methods disagree with the engines' contracts")
+			}
+		})
+	}
+}
+
+// TestShardedMergedSnapshotDeterministic is the reproducibility contract
+// at every shard count: the same seed, shard count, and stream produce a
+// bit-identical merged snapshot — across independent engines, across
+// speculation parallelism settings, and across the Add/AddBatch paths —
+// and every shard independently upholds the paper's k ≤ n ≤ 2k−1 group
+// size invariant.
+func TestShardedMergedSnapshotDeterministic(t *testing.T) {
+	const k, dim = 6, 4
+	stream := gaussianRecords(11, 1600, dim)
+	for _, shards := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			build := func(t *testing.T) *Sharded {
+				t.Helper()
+				c, err := NewCondenser(k, WithSeed(3))
+				if err != nil {
+					t.Fatal(err)
+				}
+				s, err := c.Sharded(dim, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			}
+
+			a := build(t)
+			a.SetParallelism(1)
+			for lo := 0; lo < len(stream); lo += 128 {
+				hi := lo + 128
+				if hi > len(stream) {
+					hi = len(stream)
+				}
+				if err := a.AddBatch(stream[lo:hi]); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			b := build(t)
+			b.SetParallelism(8)
+			if err := b.AddBatch(stream); err != nil {
+				t.Fatal(err)
+			}
+
+			c := build(t)
+			if err := c.AddAll(stream); err != nil {
+				t.Fatal(err)
+			}
+
+			ref := checkpointBytes(t, a)
+			if !bytes.Equal(ref, checkpointBytes(t, b)) {
+				t.Fatal("merged snapshot differs across batch slicing/parallelism")
+			}
+			if !bytes.Equal(ref, checkpointBytes(t, c)) {
+				t.Fatal("merged snapshot differs between AddBatch and Add loop")
+			}
+			// Snapshotting must be repeatable and observe-only.
+			if !bytes.Equal(ref, checkpointBytes(t, a)) {
+				t.Fatal("repeated snapshots of the same state differ")
+			}
+
+			total, groups := 0, 0
+			for i := 0; i < a.NumShards(); i++ {
+				shard := a.Shard(i)
+				if shard.NumGroups() == 0 {
+					t.Fatalf("shard %d received no records", i)
+				}
+				for j, g := range shard.Groups() {
+					if n := g.N(); n < k || n > 2*k-1 {
+						t.Fatalf("shard %d group %d holds %d records, outside [%d,%d]", i, j, n, k, 2*k-1)
+					}
+				}
+				total += shard.TotalCount()
+				groups += shard.NumGroups()
+			}
+			if total != len(stream) {
+				t.Fatalf("shards condensed %d records in total, want %d", total, len(stream))
+			}
+			if got := a.TotalCount(); got != len(stream) {
+				t.Fatalf("TotalCount = %d, want %d", got, len(stream))
+			}
+			if got := a.NumGroups(); got != groups {
+				t.Fatalf("NumGroups = %d, want per-shard sum %d", got, groups)
+			}
+		})
+	}
+}
+
+// TestShardedRoutingDeterministic pins the routing rule: the hash depends
+// only on record values (and the optional routing attribute), so identical
+// records route identically on independent engines, and records agreeing
+// on the routing attribute always share a shard.
+func TestShardedRoutingDeterministic(t *testing.T) {
+	const dim = 5
+	c, err := NewCondenser(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Sharded(dim, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Sharded(dim, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range gaussianRecords(13, 200, dim) {
+		if a.shardOf(x) != b.shardOf(x) {
+			t.Fatal("identical records routed to different shards on independent engines")
+		}
+	}
+
+	if err := a.SetRoutingAttribute(0); err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(17)
+	for class := 0; class < 6; class++ {
+		x := make(mat.Vector, dim)
+		x[0] = float64(class)
+		for j := 1; j < dim; j++ {
+			x[j] = r.Norm()
+		}
+		want := a.shardOf(x)
+		for trial := 0; trial < 20; trial++ {
+			y := x.Clone()
+			for j := 1; j < dim; j++ {
+				y[j] = r.Norm()
+			}
+			if got := a.shardOf(y); got != want {
+				t.Fatalf("class %d routed to shard %d and %d", class, want, got)
+			}
+		}
+	}
+
+	if err := a.SetRoutingAttribute(dim); err == nil {
+		t.Fatal("routing attribute out of range accepted")
+	}
+	if err := a.Add(make(mat.Vector, dim)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetRoutingAttribute(1); err == nil {
+		t.Fatal("routing change after ingest accepted")
+	}
+}
+
+// TestShardedValidation covers the construction and ingest error paths.
+func TestShardedValidation(t *testing.T) {
+	c, err := NewCondenser(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Sharded(2, 0); err == nil {
+		t.Fatal("0 shards accepted")
+	}
+	if _, err := c.ShardedFrom(nil, 2); err == nil {
+		t.Fatal("nil initial condensation accepted")
+	}
+	s, err := c.Sharded(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(mat.Vector{1}); err == nil {
+		t.Fatal("wrong-dimension record accepted")
+	}
+	if err := s.AddBatch([]mat.Vector{{1, 2}, {3}}); err == nil {
+		t.Fatal("batch with wrong-dimension record accepted")
+	}
+	if s.TotalCount() != 0 {
+		t.Fatal("rejected batch left records behind")
+	}
+	if err := s.AddBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+// TestShardedFromDistributesGroups seeds a sharded engine from a static
+// condensation and checks the round-robin deal: every initial group lands
+// on a shard, none are lost or duplicated, and more shards than groups
+// leaves the excess shards empty but serviceable.
+func TestShardedFromDistributesGroups(t *testing.T) {
+	const k, dim = 5, 3
+	initial, err := Static(gaussianRecords(19, 60, dim), k, rng.New(21), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCondenser(k, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, initial.NumGroups() + 3} {
+		s, err := c.ShardedFrom(initial, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.NumGroups(); got != initial.NumGroups() {
+			t.Fatalf("%d shards: %d groups after seeding, want %d", shards, got, initial.NumGroups())
+		}
+		if got := s.TotalCount(); got != initial.TotalCount() {
+			t.Fatalf("%d shards: %d records after seeding, want %d", shards, got, initial.TotalCount())
+		}
+		if err := s.AddAll(gaussianRecords(23, 40, dim)); err != nil {
+			t.Fatalf("%d shards: ingest after seeding: %v", shards, err)
+		}
+	}
+}
+
+// TestShardedTelemetryLabels checks the metric contract: with N ≥ 2 every
+// engine series carries a shard label per shard, while a single-shard
+// engine registers the exact unlabeled series Dynamic does.
+func TestShardedTelemetryLabels(t *testing.T) {
+	const dim = 3
+	c, err := NewCondenser(3, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := gaussianRecords(29, 300, dim)
+
+	expo := func(t *testing.T, shards int) string {
+		t.Helper()
+		reg := telemetry.NewRegistry()
+		s, err := c.Sharded(dim, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetTelemetry(reg)
+		if err := s.AddBatch(stream); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	single := expo(t, 1)
+	if !strings.Contains(single, "condense_stream_records_total 300") {
+		t.Fatalf("single shard: unlabeled stream counter missing:\n%s", single)
+	}
+	if strings.Contains(single, `shard="`) {
+		t.Fatal("single shard: unexpected shard label")
+	}
+
+	multi := expo(t, 4)
+	for i := 0; i < 4; i++ {
+		if !strings.Contains(multi, fmt.Sprintf(`condense_stream_records_total{shard="%d"}`, i)) {
+			t.Fatalf("4 shards: stream counter for shard %d missing:\n%s", i, multi)
+		}
+		if !strings.Contains(multi, fmt.Sprintf(`condense_groups{shard="%d"}`, i)) {
+			t.Fatalf("4 shards: group gauge for shard %d missing", i)
+		}
+	}
+}
+
+// TestDynamicTotalCountCached pins the cached running count against the
+// ground truth (the sum over live group statistics) through founding,
+// routing, splitting, batch ingest, and bootstrap seeding.
+func TestDynamicTotalCountCached(t *testing.T) {
+	const k, dim = 4, 3
+	groundTruth := func(d *Dynamic) int {
+		var n int
+		for _, g := range d.groups {
+			n += g.N()
+		}
+		return n
+	}
+
+	d, err := NewDynamicEmpty(dim, k, Options{}, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range gaussianRecords(33, 200, dim) {
+		if err := d.Add(x); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := d.TotalCount(), groundTruth(d); got != want || want != i+1 {
+			t.Fatalf("after %d adds: TotalCount = %d, groups hold %d", i+1, got, want)
+		}
+	}
+	if got, want := d.Splits(), d.NumGroups()-1; got != want {
+		t.Fatalf("Splits = %d, want %d (empty start: one split per extra group)", got, want)
+	}
+	if err := d.AddBatch(gaussianRecords(35, 300, dim)); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.TotalCount(), groundTruth(d); got != want || want != 500 {
+		t.Fatalf("after batch: TotalCount = %d, groups hold %d, want 500", got, want)
+	}
+
+	initial, err := Static(gaussianRecords(37, 90, dim), k, rng.New(39), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := NewDynamic(initial, rng.New(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := seeded.TotalCount(), groundTruth(seeded); got != want || want != 90 {
+		t.Fatalf("seeded: TotalCount = %d, groups hold %d, want 90", got, want)
+	}
+}

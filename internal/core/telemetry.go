@@ -39,35 +39,42 @@ type engineMetrics struct {
 }
 
 // newEngineMetrics resolves the engine handles from reg (nil reg means
-// disabled). The neighbor_search series is registered separately via
-// withSearchBackend because its backend label depends on the caller.
-func newEngineMetrics(reg *telemetry.Registry) engineMetrics {
+// disabled). Extra label pairs, when given, are stamped onto every series
+// — the sharded engine passes shard="i" so each shard's counters stay
+// separable; a single-shard engine passes none and registers the exact
+// unlabeled series. The neighbor_search series is registered separately
+// via withSearchBackend because its backend label depends on the caller.
+func newEngineMetrics(reg *telemetry.Registry, labels ...string) engineMetrics {
 	if reg == nil {
 		return engineMetrics{}
 	}
+	stage := func(name string) *telemetry.Histogram {
+		return reg.Histogram(metricStageSeconds, nil, append([]string{"stage", name}, labels...)...)
+	}
 	return engineMetrics{
 		enabled:       true,
-		stats:         reg.Histogram(metricStageSeconds, nil, "stage", "group_stats"),
-		eigen:         reg.Histogram(metricStageSeconds, nil, "stage", "eigen"),
-		synth:         reg.Histogram(metricStageSeconds, nil, "stage", "synthesis"),
-		split:         reg.Histogram(metricStageSeconds, nil, "stage", "split"),
-		groupsFormed:  reg.Counter(metricGroupsFormed),
-		leftovers:     reg.Counter(metricLeftovers),
-		splitEvents:   reg.Counter(metricSplitEvents),
-		streamRecords: reg.Counter(metricStreamRecords),
-		groups:        reg.Gauge(metricGroups),
+		stats:         stage("group_stats"),
+		eigen:         stage("eigen"),
+		synth:         stage("synthesis"),
+		split:         stage("split"),
+		groupsFormed:  reg.Counter(metricGroupsFormed, labels...),
+		leftovers:     reg.Counter(metricLeftovers, labels...),
+		splitEvents:   reg.Counter(metricSplitEvents, labels...),
+		streamRecords: reg.Counter(metricStreamRecords, labels...),
+		groups:        reg.Gauge(metricGroups, labels...),
 	}
 }
 
 // withSearchBackend attaches the neighbor_search stage series for the
 // named backend ("quickselect", "scan-sort", "kdtree", or the dynamic
-// engine's "centroid-scan").
-func (m *engineMetrics) withSearchBackend(reg *telemetry.Registry, backend string) {
+// engine's "centroid-scan"), carrying the same extra labels as the other
+// engine series.
+func (m *engineMetrics) withSearchBackend(reg *telemetry.Registry, backend string, labels ...string) {
 	if reg == nil {
 		return
 	}
 	m.search = reg.Histogram(metricStageSeconds, nil,
-		"stage", "neighbor_search", "backend", backend)
+		append([]string{"stage", "neighbor_search", "backend", backend}, labels...)...)
 }
 
 // searchBackendLabel names the effective static backend for the metric

@@ -46,11 +46,23 @@ import (
 
 // Config configures a condensation server.
 type Config struct {
+	// Engine is the condenser engine to serve. When set it is used as-is
+	// (the server attaches its telemetry registry and tracer) and Dim,
+	// Condenser, Shards, Initial, and the deprecated fields are ignored.
+	// When nil, the server constructs an engine from the fields below.
+	Engine core.Engine
 	// Dim is the record dimensionality.
 	Dim int
 	// Condenser supplies the condensation configuration (k, options,
 	// seed). Required unless the deprecated K/Options/Seed fields are set.
 	Condenser *core.Condenser
+	// Shards is the number of independent condenser shards the server
+	// builds when Engine is nil. 0 and 1 both mean a single unsharded
+	// engine guarded by the server's own lock — the exact pre-sharding
+	// serving path; ≥ 2 builds a core.Sharded whose per-shard locks
+	// replace the server's write lock, so concurrent batches only contend
+	// when they route to the same shard.
+	Shards int
 	// K is the indistinguishability level.
 	//
 	// Deprecated: set Condenser instead; K is consulted only when
@@ -95,13 +107,17 @@ type Config struct {
 // defaultAuditSample is the reservoir capacity when Config.AuditSample is 0.
 const defaultAuditSample = 2048
 
-// Server is a thread-safe condensation HTTP service. Ingestion takes the
-// write lock; snapshot, stats, checkpoint, and health handlers only read
-// the condensation and share an RLock, so reads never queue behind each
-// other — only behind an in-flight batch ingest.
+// Server is a thread-safe condensation HTTP service over a core.Engine.
+// For an engine that does not synchronize itself (core.Dynamic), ingestion
+// takes the server's write lock and read handlers share an RLock, so reads
+// never queue behind each other — only behind an in-flight batch ingest.
+// An engine that synchronizes itself (core.Sharded) bypasses the server's
+// lock entirely: concurrent batches then contend per shard, not per
+// server, which is the point of sharding.
 type Server struct {
 	mu       sync.RWMutex
-	dyn      *core.Dynamic
+	eng      core.Engine
+	synced   bool // eng.Synchronized(): skip the server's own lock
 	k        int
 	dim      int
 	maxBatch int
@@ -127,38 +143,45 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 10000
 	}
-	condenser := cfg.Condenser
-	if condenser == nil {
-		// Legacy configuration path: assemble a facade from the deprecated
-		// positional fields, honouring the checkpoint's k/options when
-		// resuming.
-		k, opts := cfg.K, cfg.Options
-		if cfg.Initial != nil {
-			k, opts = cfg.Initial.K(), cfg.Initial.Options()
+	eng := cfg.Engine
+	if eng == nil {
+		condenser := cfg.Condenser
+		if condenser == nil {
+			// Legacy configuration path: assemble a facade from the deprecated
+			// positional fields, honouring the checkpoint's k/options when
+			// resuming.
+			k, opts := cfg.K, cfg.Options
+			if cfg.Initial != nil {
+				k, opts = cfg.Initial.K(), cfg.Initial.Options()
+			}
+			var err error
+			condenser, err = core.NewCondenser(k,
+				core.WithSeed(cfg.Seed), core.WithOptions(opts))
+			if err != nil {
+				return nil, err
+			}
 		}
 		var err error
-		condenser, err = core.NewCondenser(k,
-			core.WithSeed(cfg.Seed), core.WithOptions(opts))
+		switch {
+		case cfg.Shards > 1 && cfg.Initial != nil:
+			eng, err = condenser.ShardedFrom(cfg.Initial, cfg.Shards)
+		case cfg.Shards > 1:
+			eng, err = condenser.Sharded(cfg.Dim, cfg.Shards)
+		case cfg.Initial != nil:
+			eng, err = condenser.DynamicFrom(cfg.Initial)
+		default:
+			eng, err = condenser.Dynamic(cfg.Dim)
+		}
 		if err != nil {
 			return nil, err
 		}
-	}
-	var dyn *core.Dynamic
-	var err error
-	if cfg.Initial != nil {
-		dyn, err = condenser.DynamicFrom(cfg.Initial)
-	} else {
-		dyn, err = condenser.Dynamic(cfg.Dim)
-	}
-	if err != nil {
-		return nil, err
 	}
 	reg := cfg.Telemetry
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
-	dyn.SetTelemetry(reg)
-	dyn.SetTracer(cfg.Tracer)
+	eng.SetTelemetry(reg)
+	eng.SetTracer(cfg.Tracer)
 	sampleCap := cfg.AuditSample
 	if sampleCap == 0 {
 		sampleCap = defaultAuditSample
@@ -171,9 +194,10 @@ func New(cfg Config) (*Server, error) {
 		auditSeed = 1
 	}
 	s := &Server{
-		dyn:       dyn,
-		k:         dyn.K(),
-		dim:       dyn.Dim(),
+		eng:       eng,
+		synced:    eng.Synchronized(),
+		k:         eng.K(),
+		dim:       eng.Dim(),
 		maxBatch:  cfg.MaxBatch,
 		mux:       http.NewServeMux(),
 		reg:       reg,
@@ -198,6 +222,46 @@ func New(cfg Config) (*Server, error) {
 	s.route("/debug/vars", s.handleVars)
 	s.route("/debug/trace", s.handleTrace)
 	return s, nil
+}
+
+// Engine returns the engine the server serves — for wiring the same
+// engine into other drivers (a stream feeder, a background auditor), not
+// for bypassing the server's locking: callers must respect Synchronized.
+func (s *Server) Engine() core.Engine { return s.eng }
+
+// lock/unlock bracket engine writes and rlock/runlock engine reads. For a
+// self-synchronizing engine they are no-ops — the engine's per-shard
+// locks already order writes and reads — so the server never stacks a
+// global lock on top of a sharded engine.
+func (s *Server) lock() {
+	if !s.synced {
+		s.mu.Lock()
+	}
+}
+
+func (s *Server) unlock() {
+	if !s.synced {
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) rlock() {
+	if !s.synced {
+		s.mu.RLock()
+	}
+}
+
+func (s *Server) runlock() {
+	if !s.synced {
+		s.mu.RUnlock()
+	}
+}
+
+// snapshot takes a read-consistent condensation snapshot of the engine.
+func (s *Server) snapshot() *core.Condensation {
+	s.rlock()
+	defer s.runlock()
+	return s.eng.Condensation()
 }
 
 // route registers a handler behind the telemetry middleware: per-endpoint
@@ -260,10 +324,12 @@ type recordsRequest struct {
 	Records [][]float64 `json:"records"`
 }
 
-// recordsResponse confirms ingestion.
+// recordsResponse confirms ingestion: the records accepted by this
+// request plus the engine's cumulative group and split counts after it.
 type recordsResponse struct {
 	Accepted int `json:"accepted"`
 	Groups   int `json:"groups"`
+	Splits   int `json:"splits"`
 }
 
 // errorResponse is the uniform error body.
@@ -328,10 +394,11 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	// disconnects or the deadline passes mid-batch, ingestion stops at a
 	// record boundary instead of holding the lock for the full batch.
 	t0 := time.Now()
-	s.mu.Lock()
-	err := s.dyn.AddBatchContext(r.Context(), records)
-	groups := s.dyn.NumGroups()
-	s.mu.Unlock()
+	s.lock()
+	err := s.eng.AddBatchContext(r.Context(), records)
+	groups := s.eng.NumGroups()
+	splits := s.eng.Splits()
+	s.unlock()
 	s.log.Debug("ingested batch",
 		slog.Int("records", len(records)),
 		slog.Int("groups", groups),
@@ -351,7 +418,7 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	// the accepted originals, retained only for the audit's marginal-KS
 	// comparison and never served.
 	s.reservoir.OfferAll(records)
-	writeJSON(w, http.StatusOK, recordsResponse{Accepted: len(records), Groups: groups})
+	writeJSON(w, http.StatusOK, recordsResponse{Accepted: len(records), Groups: groups, Splits: splits})
 }
 
 // snapshotResponse carries a synthesized anonymized data set.
@@ -376,9 +443,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		}
 		seed = v
 	}
-	s.mu.RLock()
-	cond := s.dyn.Condensation()
-	s.mu.RUnlock()
+	cond := s.snapshot()
 	if cond.TotalCount() == 0 {
 		writeError(w, http.StatusConflict, errors.New("no records condensed yet"))
 		return
@@ -395,10 +460,25 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// statsResponse summarizes the live condensation.
+// statsResponse summarizes the live condensation. ByShard is present only
+// when the request asked for the per-shard breakdown.
 type statsResponse struct {
-	Dim          int     `json:"dim"`
-	K            int     `json:"k"`
+	Dim          int          `json:"dim"`
+	K            int          `json:"k"`
+	Shards       int          `json:"shards"`
+	Groups       int          `json:"groups"`
+	Records      int          `json:"records"`
+	Splits       int          `json:"splits"`
+	MinGroupSize int          `json:"min_group_size"`
+	MaxGroupSize int          `json:"max_group_size"`
+	AvgGroupSize float64      `json:"avg_group_size"`
+	KSatisfied   bool         `json:"k_satisfied"`
+	ByShard      []shardStats `json:"by_shard,omitempty"`
+}
+
+// shardStats is one shard's block of the per-shard breakdown.
+type shardStats struct {
+	Shard        int     `json:"shard"`
 	Groups       int     `json:"groups"`
 	Records      int     `json:"records"`
 	MinGroupSize int     `json:"min_group_size"`
@@ -407,16 +487,82 @@ type statsResponse struct {
 	KSatisfied   bool    `json:"k_satisfied"`
 }
 
+// shardParam parses the optional ?shard=i selector: (index, true, nil)
+// when a valid shard was requested, (0, false, nil) when absent, an error
+// when malformed or out of range.
+func (s *Server) shardParam(r *http.Request) (int, bool, error) {
+	q := r.URL.Query().Get("shard")
+	if q == "" {
+		return 0, false, nil
+	}
+	i, err := strconv.Atoi(q)
+	if err != nil {
+		return 0, false, fmt.Errorf("bad shard %q", q)
+	}
+	if i < 0 || i >= s.eng.NumShards() {
+		return 0, false, fmt.Errorf("shard %d out of range [0,%d)", i, s.eng.NumShards())
+	}
+	return i, true, nil
+}
+
+// byShardParam reports whether the request asked for the per-shard
+// breakdown (?by_shard, ?by_shard=1, ?by_shard=true).
+func byShardParam(r *http.Request) bool {
+	if !r.URL.Query().Has("by_shard") {
+		return false
+	}
+	v := r.URL.Query().Get("by_shard")
+	return v == "" || v == "1" || v == "true"
+}
+
+// shardStatsOf summarizes one shard's snapshot.
+func shardStatsOf(i int, cond *core.Condensation) (shardStats, error) {
+	st := shardStats{Shard: i, Groups: cond.NumGroups(), Records: cond.TotalCount(), KSatisfied: true}
+	if cond.NumGroups() > 0 {
+		a, err := privacy.AuditGroups(cond.Groups(), cond.K())
+		if err != nil {
+			return st, err
+		}
+		st.MinGroupSize = a.MinSize
+		st.MaxGroupSize = a.MaxSize
+		st.AvgGroupSize = a.MeanSize
+		st.KSatisfied = a.Satisfied()
+	}
+	return st, nil
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
 		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
-	s.mu.RLock()
-	cond := s.dyn.Condensation()
-	s.mu.RUnlock()
-	resp := statsResponse{Dim: cond.Dim(), K: cond.K(), Groups: cond.NumGroups(), Records: cond.TotalCount()}
+	shard, hasShard, err := s.shardParam(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if hasShard {
+		// One shard's view alone, for per-shard dashboards and smoke checks.
+		s.rlock()
+		cond := s.eng.Shard(shard)
+		s.runlock()
+		st, err := shardStatsOf(shard, cond)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	cond := s.snapshot()
+	resp := statsResponse{
+		Dim:    cond.Dim(),
+		K:      cond.K(),
+		Shards: s.eng.NumShards(),
+		Groups: cond.NumGroups(), Records: cond.TotalCount(),
+		Splits: s.eng.Splits(),
+	}
 	if cond.NumGroups() > 0 {
 		audit, err := privacy.AuditGroups(cond.Groups(), cond.K())
 		if err != nil {
@@ -428,6 +574,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.AvgGroupSize = audit.MeanSize
 		resp.KSatisfied = audit.Satisfied()
 	}
+	if byShardParam(r) {
+		s.rlock()
+		shards := make([]*core.Condensation, s.eng.NumShards())
+		for i := range shards {
+			shards[i] = s.eng.Shard(i)
+		}
+		s.runlock()
+		for i, sc := range shards {
+			st, err := shardStatsOf(i, sc)
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, err)
+				return
+			}
+			resp.ByShard = append(resp.ByShard, st)
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -437,9 +599,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
-	s.mu.RLock()
-	cond := s.dyn.Condensation()
-	s.mu.RUnlock()
+	cond := s.snapshot()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if _, err := cond.WriteTo(w); err != nil {
 		// Headers are already sent; nothing more we can do than drop the
@@ -458,6 +618,7 @@ type healthResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Dim           int     `json:"dim"`
 	K             int     `json:"k"`
+	Shards        int     `json:"shards"`
 	Groups        int     `json:"groups"`
 	Records       int     `json:"records"`
 }
@@ -487,10 +648,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
-	s.mu.RLock()
-	groups := s.dyn.NumGroups()
-	records := s.dyn.TotalCount()
-	s.mu.RUnlock()
+	s.rlock()
+	groups := s.eng.NumGroups()
+	records := s.eng.TotalCount()
+	s.runlock()
 	writeJSON(w, http.StatusOK, healthResponse{
 		Status:        "ok",
 		GoVersion:     runtime.Version(),
@@ -499,6 +660,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Dim:           s.dim,
 		K:             s.k,
+		Shards:        s.eng.NumShards(),
 		Groups:        groups,
 		Records:       records,
 	})
@@ -530,9 +692,7 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 // It is what the /v1/audit handler and condenserd's background auditor
 // both call.
 func (s *Server) Audit() (*audit.Report, error) {
-	s.mu.RLock()
-	cond := s.dyn.Condensation()
-	s.mu.RUnlock()
+	cond := s.snapshot()
 	// Leftovers only arise when a static bootstrap folded sub-k remainders
 	// into nearest groups; the engine's counter carries that count forward.
 	leftovers := int(s.reg.Counter("condense_leftover_records_total").Value())
@@ -548,10 +708,49 @@ func (s *Server) Audit() (*audit.Report, error) {
 	return rep, nil
 }
 
+// auditShard audits one shard's snapshot in isolation: the same pooled
+// group-moment metrics, but without the KS block (the reservoir samples
+// the whole stream, not one shard's slice of it), without the bootstrap
+// leftover count, and without publishing to the registry — the published
+// condense_audit_* series describe the merged state only.
+func (s *Server) auditShard(i int) (*audit.Report, error) {
+	s.rlock()
+	cond := s.eng.Shard(i)
+	s.runlock()
+	return audit.Compute(cond, audit.Config{SynthSeed: s.auditSeed})
+}
+
+// shardAudit is one shard's entry in the by_shard audit array.
+type shardAudit struct {
+	Shard int `json:"shard"`
+	*audit.Report
+}
+
+// auditByShardResponse is the merged audit report plus the per-shard
+// breakdown.
+type auditByShardResponse struct {
+	*audit.Report
+	ByShard []shardAudit `json:"by_shard"`
+}
+
 func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
 		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	shard, hasShard, err := s.shardParam(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if hasShard {
+		rep, err := s.auditShard(shard)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, shardAudit{Shard: shard, Report: rep})
 		return
 	}
 	rep, err := s.Audit()
@@ -559,7 +758,20 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, rep)
+	if !byShardParam(r) {
+		writeJSON(w, http.StatusOK, rep)
+		return
+	}
+	resp := auditByShardResponse{Report: rep}
+	for i := 0; i < s.eng.NumShards(); i++ {
+		sr, err := s.auditShard(i)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.ByShard = append(resp.ByShard, shardAudit{Shard: i, Report: sr})
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {

@@ -1,8 +1,9 @@
 // Package stream drives the dynamic condensation of Section 3 of the paper
-// over simulated record streams: it feeds records to a core.Dynamic one at
-// a time, optionally interleaving snapshot callbacks, and can simulate
-// concept drift by re-ordering or shifting the stream. It exists so the
-// dynamic experiments and the streaming example share one tested driver.
+// over simulated record streams: it feeds records to any core.Engine (a
+// single core.Dynamic or a core.Sharded), optionally interleaving snapshot
+// callbacks, and can simulate concept drift by re-ordering or shifting the
+// stream. It exists so the dynamic experiments and the streaming example
+// share one tested driver.
 package stream
 
 import (
@@ -28,9 +29,9 @@ type Snapshot struct {
 	AvgGroupSize float64
 }
 
-// Driver streams records into a dynamic condenser.
+// Driver streams records into a condenser engine.
 type Driver struct {
-	dyn *core.Dynamic
+	eng core.Engine
 	// Every n records, the driver records a Snapshot (0 disables).
 	SnapshotEvery int
 	// BatchSize > 1 feeds the condenser through its batch engine
@@ -50,12 +51,14 @@ type Driver struct {
 	tr      *telemetry.Tracer
 }
 
-// NewDriver wraps a dynamic condenser.
-func NewDriver(dyn *core.Dynamic) (*Driver, error) {
-	if dyn == nil {
-		return nil, errors.New("stream: nil dynamic condenser")
+// NewDriver wraps a condenser engine. Existing call sites passing a
+// *core.Dynamic keep compiling — Dynamic implements core.Engine — and a
+// *core.Sharded drops in the same way.
+func NewDriver(eng core.Engine) (*Driver, error) {
+	if eng == nil {
+		return nil, errors.New("stream: nil condenser engine")
 	}
-	return &Driver{dyn: dyn, log: telemetry.Nop()}, nil
+	return &Driver{eng: eng, log: telemetry.Nop()}, nil
 }
 
 // SetTelemetry attaches a metrics registry: each Feed/FeedContext call
@@ -101,13 +104,13 @@ func (d *Driver) FeedContext(ctx context.Context, records []mat.Vector) error {
 	span.SetAttrInt("records", len(records))
 	defer span.End()
 	t0 := time.Now()
-	groups0 := d.dyn.NumGroups()
+	groups0 := d.eng.NumGroups()
 	delivered := 0
 	defer func() {
 		// Gauges reflect the call that just finished, whether it completed
 		// or was cancelled mid-batch; delivered records stay counted.
 		d.records.Add(delivered)
-		d.churn.Set(float64(d.dyn.NumGroups() - groups0))
+		d.churn.Set(float64(d.eng.NumGroups() - groups0))
 		if elapsed := time.Since(t0).Seconds(); elapsed > 0 {
 			d.rate.Set(float64(delivered) / elapsed)
 		}
@@ -119,7 +122,7 @@ func (d *Driver) FeedContext(ctx context.Context, records []mat.Vector) error {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("stream: cancelled at record %d: %w", i, err)
 		}
-		if err := d.dyn.Add(x); err != nil {
+		if err := d.eng.Add(x); err != nil {
 			return fmt.Errorf("stream: record %d: %w", i, err)
 		}
 		d.seen++
@@ -147,9 +150,9 @@ func (d *Driver) feedBatched(ctx context.Context, records []mat.Vector, t0 time.
 				hi = next
 			}
 		}
-		before := d.dyn.TotalCount()
-		err := d.dyn.AddBatchContext(ctx, records[lo:hi])
-		applied := d.dyn.TotalCount() - before
+		before := d.eng.TotalCount()
+		err := d.eng.AddBatchContext(ctx, records[lo:hi])
+		applied := d.eng.TotalCount() - before
 		d.seen += applied
 		*delivered += applied
 		if err != nil {
@@ -166,7 +169,7 @@ func (d *Driver) feedBatched(ctx context.Context, records []mat.Vector, t0 time.
 func (d *Driver) takeSnapshot(ctx context.Context, feedStart time.Time, delivered int) {
 	_, span := d.tr.Start(ctx, "stream.snapshot")
 	defer span.End()
-	snap := d.dyn.Condensation()
+	snap := d.eng.Condensation()
 	span.SetAttrInt("seen", d.seen)
 	span.SetAttrInt("groups", snap.NumGroups())
 	d.snapshots = append(d.snapshots, Snapshot{
@@ -192,7 +195,7 @@ func (d *Driver) Snapshots() []Snapshot { return append([]Snapshot(nil), d.snaps
 func (d *Driver) Seen() int { return d.seen }
 
 // Condensation snapshots the current groups.
-func (d *Driver) Condensation() *core.Condensation { return d.dyn.Condensation() }
+func (d *Driver) Condensation() *core.Condensation { return d.eng.Condensation() }
 
 // Shuffled returns a shuffled copy of records — the i.i.d. stream order
 // used by the paper's dynamic experiments.
