@@ -87,6 +87,7 @@ func run(args []string, stderr io.Writer, serve func(ctx context.Context, addr s
 		seed        = fs.Uint64("seed", 1, "random seed for split-axis decisions")
 		batch       = fs.Int("batch", 10000, "maximum records per POST")
 		search      = fs.String("search", "auto", "neighbour-search backend: auto, scan-sort, quickselect, or kdtree")
+		precision   = fs.String("precision", "float64", "routing index arithmetic: float64, or float32 (prune in single precision, re-verify in float64; identical output)")
 		parallel    = fs.Int("par", 0, "worker goroutines for batch routing and static sweeps (≤ 0 means NumCPU)")
 		resume      = fs.String("resume", "", "checkpoint file to restore state from")
 		logLevel    = fs.String("log-level", "info", "log level: debug, info, warn, error, or off")
@@ -153,9 +154,14 @@ func run(args []string, stderr io.Writer, serve func(ctx context.Context, addr s
 	if err != nil {
 		return fmt.Errorf("-search: %w", err)
 	}
+	indexPrecision, err := core.ParseIndexPrecision(*precision)
+	if err != nil {
+		return fmt.Errorf("-precision: %w", err)
+	}
 	condenser, err := core.NewCondenser(condenserK,
 		core.WithSeed(*seed), core.WithOptions(condenserOpts),
 		core.WithNeighborSearch(searchBackend),
+		core.WithIndexPrecision(indexPrecision),
 		core.WithParallelism(*parallel),
 		core.WithTelemetry(reg),
 		core.WithTracer(tracer))

@@ -96,6 +96,15 @@ func WithParallelism(p int) CondenserOption {
 	return func(c *Condenser) { c.search.Parallelism = p }
 }
 
+// WithIndexPrecision selects the dynamic routing index's arithmetic
+// (default Float64). Float32 stores the pruning arena in single precision
+// and re-verifies candidates in float64, so condensed output is
+// bit-identical under either setting — this is a memory-bandwidth knob,
+// not an accuracy trade.
+func WithIndexPrecision(p IndexPrecision) CondenserOption {
+	return func(c *Condenser) { c.search.Precision = p }
+}
+
 // WithMode selects the construction regime Anonymize uses (default
 // static).
 func WithMode(m Mode) CondenserOption {

@@ -48,10 +48,11 @@ type Dynamic struct {
 	telLabels []string // label pairs applied to every engine series (sharding)
 	tr        *telemetry.Tracer
 
-	search  searchConfig   // routing backend + batch speculation parallelism
-	router  centroidRouter // maintained nearest-centroid structure
-	routed  int            // records routed, for sampled stage timing
-	scratch batchScratch   // reusable AddBatch buffers
+	search  searchConfig     // routing backend + batch speculation parallelism
+	router  centroidRouter   // maintained nearest-centroid structure
+	routed  int              // records routed, for sampled stage timing
+	scratch batchScratch     // reusable AddBatch buffers
+	eig     mat.EigenScratch // reusable split eigensolve workspaces
 }
 
 // SetTelemetry attaches a metrics registry: Add and AddBatch then count
@@ -273,7 +274,7 @@ func (d *Dynamic) ingest(best int, x mat.Vector, sp *telemetry.Span) error {
 		}
 		splitSpan := childSpan(d.tr, sp, "dynamic.split")
 		splitSpan.SetAttrInt("group", best)
-		m1, m2, err := SplitGroup(g, d.k, d.opts.SplitAxis, d.r)
+		m1, m2, err := splitGroupWith(g, d.k, d.opts.SplitAxis, d.r, &d.eig)
 		if err != nil {
 			return fmt.Errorf("core: splitting group %d: %w", best, err)
 		}

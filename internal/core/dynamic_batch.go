@@ -5,19 +5,23 @@ import (
 	"fmt"
 	"time"
 
+	"condensation/internal/kernel"
 	"condensation/internal/mat"
 	"condensation/internal/par"
 )
 
 // batchScratch holds AddBatch's reusable buffers so steady-state batch
 // ingestion allocates nothing per record: candidate routes from the
-// speculation phase, the touched-group bitmap, and the changed-group list
-// of the apply phase.
+// speculation phase, and the apply phase's changed-group tracking — the
+// changed-id list, a flat arena of the changed groups' live centroids
+// (so the per-record fold is one contiguous kernel sweep), and the
+// group → changed-row position map that replaces the old touched bitmap.
 type batchScratch struct {
-	cand    []int
-	candD   []float64
-	touched []bool
-	changed []int
+	cand        []int
+	candD       []float64
+	pos         []int32 // group id -> row in changed/changedFlat, -1 if unchanged
+	changed     []int
+	changedFlat []float64
 }
 
 // routes returns candidate/distance slices of length n, reusing backing
@@ -30,16 +34,17 @@ func (s *batchScratch) routes(n int) ([]int, []float64) {
 	return s.cand[:n], s.candD[:n]
 }
 
-// touchedSet returns a cleared bitmap over n groups, reusing storage.
-func (s *batchScratch) touchedSet(n int) []bool {
-	if cap(s.touched) < n {
-		s.touched = make([]bool, n)
+// posMap returns the group → changed-row map over n groups, all cleared
+// to -1, reusing storage.
+func (s *batchScratch) posMap(n int) []int32 {
+	if cap(s.pos) < n {
+		s.pos = make([]int32, n)
 	}
-	t := s.touched[:n]
-	for i := range t {
-		t[i] = false
+	p := s.pos[:n]
+	for i := range p {
+		p[i] = -1
 	}
-	return t
+	return p
 }
 
 // AddBatch ingests a batch of records, producing the exact condensation a
@@ -51,25 +56,27 @@ func (d *Dynamic) AddBatch(records []mat.Vector) error {
 }
 
 // AddBatchContext is the dynamic engine's high-throughput ingest path. It
-// runs in two phases:
+// alternates two phases over speculation windows of the batch:
 //
-//  1. Speculation (parallel, read-only): every record is routed to its
-//     nearest centroid against the frozen pre-batch state, chunked across
-//     SetParallelism workers. Each worker writes disjoint slots, so the
-//     candidates are identical at every worker count.
+//  1. Speculation (parallel, read-only): the window's records are routed
+//     to their nearest centroids against the engine state frozen at the
+//     window's start, chunked across SetParallelism workers. Each worker
+//     writes disjoint slots, so the candidates are identical at every
+//     worker count.
 //  2. Apply (sequential, input order): each record is folded into its
 //     group exactly as Add would. A record's speculated candidate is kept
 //     only while the candidate group is untouched since speculation; the
 //     true nearest is then the lexicographic minimum of the candidate and
-//     the groups that changed during the batch (moved centroids and
-//     split-created groups), a set the loop tracks incrementally. A
-//     record whose candidate group itself changed is re-routed against
-//     the live router.
+//     the groups that changed during the window (moved centroids and
+//     split-created groups), a set the loop tracks incrementally as a
+//     flat centroid arena. A record whose candidate group itself changed
+//     is re-routed against the live router.
 //
-// The apply phase performs the same group updates, in the same order,
+// The apply phases perform the same group updates, in the same order,
 // drawing from the same rng stream as a sequential Add loop, so the
-// result is bit-identical by construction at any parallelism and with any
-// routing backend (TestAddBatchEquivalence proves it byte for byte).
+// result is bit-identical by construction at any parallelism, window
+// size, and routing backend (TestAddBatchEquivalence proves it byte for
+// byte).
 //
 // Unlike AddAllContext, the whole batch is validated up front: a
 // malformed record rejects the batch before any record is admitted.
@@ -105,75 +112,133 @@ func (d *Dynamic) AddBatchContext(ctx context.Context, records []mat.Vector) err
 	sp.SetAttrInt("records", len(records))
 	defer sp.End()
 
-	// Phase 1: speculative routing against the frozen pre-batch state.
-	// Workers only read centroids and write disjoint candidate slots.
+	// The batch proceeds in speculation windows: each window of records is
+	// routed in parallel against the engine state frozen at the window's
+	// start, then applied sequentially in input order. A window's apply
+	// keeps a record's speculated candidate only while the candidate group
+	// is unchanged since the window started; the true nearest is then the
+	// lexicographic minimum of the candidate and the groups changed during
+	// the window — a set the loop tracks as a flat arena of live
+	// centroids, so the fold is one contiguous kernel sweep. A record
+	// whose candidate group itself changed is re-routed live. Every
+	// record is therefore routed exactly as a sequential Add would route
+	// it, at any window size — the window only bounds how large the
+	// changed set can grow, keeping the fold O(window) instead of
+	// O(batch).
 	cand, candD := d.scratch.routes(len(batch))
 	workers := par.Workers(d.search.Parallelism)
+	br, hasBatchRouter := d.router.(batchRouter)
 	specSpan := childSpan(d.tr, sp, "dynamic.speculate")
-	var t0 time.Time
-	if d.met.enabled {
-		t0 = time.Now()
-	}
-	_ = par.RunChunks(len(batch), workers, func(lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			cand[i], candD[i] = d.router.nearest(batch[i])
-		}
-		return nil
-	})
-	if d.met.enabled {
-		d.met.search.ObserveSince(t0)
-	}
 	specSpan.SetAttrInt("workers", workers)
-	specSpan.End()
-	d.routed += len(batch)
-
-	// Phase 2: sequential apply in input order.
 	applySpan := childSpan(d.tr, sp, "dynamic.apply")
-	touched := d.scratch.touchedSet(len(d.groups))
+	pos := d.scratch.posMap(len(d.groups))
 	changed := d.scratch.changed[:0]
+	changedFlat := d.scratch.changedFlat[:0]
 	applied := 0
+	var searchDur time.Duration
 	defer func() {
 		// Splits may have grown the slices past their scratch capacity;
 		// keep the grown backing arrays for the next batch.
-		d.scratch.touched = touched
+		d.scratch.pos = pos
 		d.scratch.changed = changed
+		d.scratch.changedFlat = changedFlat
+		if d.met.enabled {
+			d.met.search.Observe(searchDur.Seconds())
+		}
 		d.met.streamRecords.Add(applied)
 		applySpan.SetAttrInt("applied", applied)
 		applySpan.End()
+		specSpan.End()
 	}()
-	for i, x := range batch {
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("core: batch cancelled at record %d: %w", head+i, err)
+	dim := d.dim
+	for wlo := 0; wlo < len(batch); wlo += speculationWindow {
+		whi := wlo + speculationWindow
+		if whi > len(batch) {
+			whi = len(batch)
 		}
-		best, bestD := cand[i], candD[i]
-		if touched[best] {
-			// The candidate group moved or split since speculation; its
-			// stored distance is stale, so re-route against the live state.
-			best, _ = d.router.nearest(x)
-		} else {
-			// The candidate still holds the lexicographic minimum over
-			// every unchanged group; only groups changed during this batch
-			// can beat it.
-			for _, g := range changed {
-				if dd := x.DistSq(d.centroids[g]); dd < bestD || (dd == bestD && g < best) {
-					best, bestD = g, dd
-				}
+		window := batch[wlo:whi]
+		wcand, wcandD := cand[wlo:whi], candD[wlo:whi]
+
+		// Speculative routing against the state frozen at window start.
+		// Workers only read centroids and write disjoint candidate slots.
+		var t0 time.Time
+		if d.met.enabled {
+			t0 = time.Now()
+		}
+		_ = par.RunChunks(len(window), workers, func(lo, hi int) error {
+			if hasBatchRouter {
+				// Cache-blocked block-vs-block sweep: identical answers
+				// to the per-record scan, one arena tile at a time.
+				br.nearestBatch(window[lo:hi], wcand[lo:hi], wcandD[lo:hi])
+				return nil
 			}
+			for i := lo; i < hi; i++ {
+				wcand[i], wcandD[i] = d.router.nearest(window[i])
+			}
+			return nil
+		})
+		if d.met.enabled {
+			searchDur += time.Since(t0)
 		}
-		before := len(d.groups)
-		if err := d.ingest(best, x, applySpan); err != nil {
-			return fmt.Errorf("core: batch record %d: %w", head+i, err)
+		d.routed += len(window)
+
+		// Sequential apply in input order; the changed set restarts empty
+		// because this window speculated against the current state.
+		for _, g := range changed {
+			pos[g] = -1
 		}
-		applied++
-		if !touched[best] {
-			touched[best] = true
-			changed = append(changed, best)
-		}
-		if len(d.groups) > before {
-			// The split appended exactly one group, changed by definition.
-			touched = append(touched, true)
-			changed = append(changed, len(d.groups)-1)
+		changed = changed[:0]
+		changedFlat = changedFlat[:0]
+		for i, x := range window {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("core: batch cancelled at record %d: %w", head+wlo+i, err)
+			}
+			best, bestD := wcand[i], wcandD[i]
+			if pos[best] >= 0 {
+				// The candidate group moved or split since speculation;
+				// its stored distance is stale, so re-route live.
+				best, _ = d.router.nearest(x)
+			} else {
+				// The candidate still holds the lexicographic minimum
+				// over every unchanged group; only groups changed during
+				// this window can beat it. The arena rows are the changed
+				// groups' live centroids, so the fold matches the
+				// reference gather scan.
+				best, bestD = kernel.ArgminFlatIDs(x, changedFlat, changed, best, bestD)
+			}
+			before := len(d.groups)
+			if err := d.ingest(best, x, applySpan); err != nil {
+				return fmt.Errorf("core: batch record %d: %w", head+wlo+i, err)
+			}
+			applied++
+			// Refresh (or admit) the ingested group's arena row with its
+			// post-ingest centroid; on a split, centroids[best] is M1.
+			if p := pos[best]; p >= 0 {
+				copy(changedFlat[int(p)*dim:(int(p)+1)*dim], d.centroids[best])
+			} else {
+				pos[best] = int32(len(changed))
+				changed = append(changed, best)
+				changedFlat = append(changedFlat, d.centroids[best]...)
+			}
+			if len(d.groups) > before {
+				// The split appended exactly one group, changed by
+				// definition.
+				g := len(d.groups) - 1
+				pos = append(pos, int32(len(changed)))
+				changed = append(changed, g)
+				changedFlat = append(changedFlat, d.centroids[g]...)
+			}
 		}
 	}
 	return nil
 }
+
+// speculationWindow is how many records AddBatch routes per speculation
+// pass. Smaller windows re-speculate against fresher state, which keeps
+// the apply phase's changed-group fold short (it can never exceed the
+// window size in distinct moved groups); larger windows amortize the
+// fan-out overhead over more records. Either way the routing decisions —
+// and thus the condensation — are identical: the window is purely a
+// throughput knob. 256 records balances the two costs at the benchmark
+// shapes (dim 8, hundreds of groups).
+const speculationWindow = 256

@@ -228,7 +228,7 @@ func TestDynamicAutoPromotion(t *testing.T) {
 		t.Fatal(err)
 	}
 	d.SetTelemetry(reg)
-	if _, isScan := d.router.(scanRouter); !isScan {
+	if _, isScan := d.router.(*scanRouter); !isScan {
 		t.Fatal("auto backend did not start on the scan router")
 	}
 	// Enough records to push the group count past the cutoff: groups hold

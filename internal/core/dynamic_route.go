@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"condensation/internal/kernel"
 	"condensation/internal/knn"
 	"condensation/internal/mat"
 )
@@ -40,26 +41,50 @@ type centroidRouter interface {
 	label() string
 }
 
-// scanRouter is the reference backend: the paper's linear scan over the
-// engine's live centroid cache. It keeps no state of its own, so update
-// and add are free; nearest costs O(G·d).
-type scanRouter struct{ d *Dynamic }
-
-func (s scanRouter) nearest(x mat.Vector) (int, float64) {
-	cents := s.d.centroids
-	best, bestD := 0, x.DistSq(cents[0])
-	for i := 1; i < len(cents); i++ {
-		if dist := x.DistSq(cents[i]); dist < bestD {
-			best, bestD = i, dist
-		}
-	}
-	return best, bestD
+// batchRouter is the optional bulk face of a router: nearestBatch answers
+// nearest for qs[i] into ids[i]/ds[i], identical to len(qs) independent
+// nearest calls. AddBatch's speculation phase uses it when available so
+// the whole chunk runs through the cache-blocked block-vs-block kernel.
+type batchRouter interface {
+	nearestBatch(qs []mat.Vector, ids []int, ds []float64)
 }
 
-func (scanRouter) update(int) {}
-func (scanRouter) add(int)    {}
+// scanRouter is the reference backend: the paper's linear scan over the
+// group centroids, kept as a flat row-major arena so nearest is one
+// contiguous kernel sweep (O(G·d), no pointer chasing). update and add
+// mirror the engine's in-place centroid cache into the arena; both are
+// only called between queries (engine mutations are sequential), so
+// concurrent speculation reads never race them.
+type scanRouter struct {
+	d     *Dynamic
+	arena []float64 // row i = d.centroids[i], kept current
+}
 
-func (scanRouter) label() string { return "centroid-scan" }
+func newScanRouter(d *Dynamic) *scanRouter {
+	s := &scanRouter{d: d, arena: make([]float64, 0, len(d.centroids)*d.dim)}
+	for _, c := range d.centroids {
+		s.arena = append(s.arena, c...)
+	}
+	return s
+}
+
+func (s *scanRouter) nearest(x mat.Vector) (int, float64) {
+	return kernel.ArgminFlat(x, s.arena)
+}
+
+func (s *scanRouter) nearestBatch(qs []mat.Vector, ids []int, ds []float64) {
+	kernel.ArgminBatch(ids, ds, qs, s.arena, s.d.dim)
+}
+
+func (s *scanRouter) update(id int) {
+	copy(s.arena[id*s.d.dim:(id+1)*s.d.dim], s.d.centroids[id])
+}
+
+func (s *scanRouter) add(id int) {
+	s.arena = append(s.arena, s.d.centroids[id]...)
+}
+
+func (*scanRouter) label() string { return "centroid-scan" }
 
 // kdRouter answers queries from a knn.CentroidIndex: a kd-tree over a
 // centroid snapshot plus a linear "drifted since snapshot" list, rebuilt
@@ -104,11 +129,16 @@ func (*kdRouter) label() string { return "centroid-kdtree" }
 // count reaches dynamicIndexCutoff (maybePromote).
 func (d *Dynamic) initRouter() {
 	switch {
+	case d.search.Precision == Float32:
+		// The float32 index keeps the arena-sweep shape at half the
+		// memory traffic; the kd promotion is skipped so the pruning
+		// sweep stays a single contiguous pass.
+		d.router = newF32Router(d)
 	case d.search.Search == SearchKDTree,
 		d.search.Search == SearchAuto && len(d.groups) >= dynamicIndexCutoff:
 		d.router = newKDRouter(d)
 	default:
-		d.router = scanRouter{d}
+		d.router = newScanRouter(d)
 	}
 	d.met.withSearchBackend(d.tel, d.router.label(), d.telLabels...)
 }
@@ -116,11 +146,12 @@ func (d *Dynamic) initRouter() {
 // maybePromote upgrades an auto-configured scan router to the kd-index
 // once the group count crosses the cutoff. Called after every group
 // append; both routers are exact, so promotion never changes routing.
+// The float32 router is pinned: it never promotes.
 func (d *Dynamic) maybePromote() {
 	if d.search.Search != SearchAuto || len(d.groups) < dynamicIndexCutoff {
 		return
 	}
-	if _, isScan := d.router.(scanRouter); isScan {
+	if _, isScan := d.router.(*scanRouter); isScan {
 		d.router = newKDRouter(d)
 		d.met.withSearchBackend(d.tel, d.router.label(), d.telLabels...)
 	}
@@ -146,6 +177,20 @@ func (d *Dynamic) SetNeighborSearch(s NeighborSearch) error {
 // routing phase; values < 1 (the default) mean runtime.NumCPU(). The
 // result is identical at every setting.
 func (d *Dynamic) SetParallelism(p int) { d.search.Parallelism = p }
+
+// SetIndexPrecision selects the routing index arithmetic (default
+// Float64). Float32 halves the pruning sweep's memory traffic while the
+// final routing decision is still taken in float64, so the condensed
+// statistics are bit-identical under either setting
+// (TestFloat32RoutingEquivalence).
+func (d *Dynamic) SetIndexPrecision(p IndexPrecision) error {
+	if err := p.validate(); err != nil {
+		return err
+	}
+	d.search.Precision = p
+	d.initRouter()
+	return nil
+}
 
 // setSearch installs the facade's search configuration.
 func (d *Dynamic) setSearch(cfg searchConfig) {

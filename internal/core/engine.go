@@ -76,6 +76,10 @@ type Engine interface {
 	// SetParallelism bounds the worker goroutines of batch speculation;
 	// values < 1 mean runtime.NumCPU().
 	SetParallelism(p int)
+	// SetIndexPrecision selects the routing index arithmetic (default
+	// Float64; Float32 prunes in single precision and re-verifies in
+	// float64, so condensed output is identical either way).
+	SetIndexPrecision(p IndexPrecision) error
 }
 
 // Both engines implement the full serving contract.

@@ -3,10 +3,9 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
-	"condensation/internal/mat"
+	"condensation/internal/kernel"
 )
 
 // NeighborSearch selects how the static construction finds the k−1 nearest
@@ -86,10 +85,17 @@ type searchConfig struct {
 	// Parallelism bounds the worker goroutines of the distance sweep;
 	// values < 1 mean runtime.NumCPU().
 	Parallelism int
+	// Precision selects the arithmetic of the dynamic routing index
+	// (default Float64, the exact reference; Float32 prunes in single
+	// precision and re-verifies candidates in float64 — see precision.go).
+	Precision IndexPrecision
 }
 
 func (c searchConfig) validate() error {
-	return c.Search.validate()
+	if err := c.Search.validate(); err != nil {
+		return err
+	}
+	return c.Precision.validate()
 }
 
 // workers resolves the effective worker count.
@@ -105,16 +111,16 @@ func (c searchConfig) workers() int {
 // costs more than it saves.
 const parallelSweepCutoff = 8192
 
-// sweepDistances fills dist[i] with the squared distance from seed to
-// records[alive[i]], chunked across at most `workers` goroutines when the
-// sweep is large enough to amortize the fan-out. Each worker writes a
-// disjoint range, so the result is identical to the serial sweep.
-func sweepDistances(dist []float64, seed mat.Vector, records []mat.Vector, alive []int, workers int) {
-	n := len(alive)
+// sweepArena fills dist[i] with the squared distance from seed to row i
+// of the flat coordinate arena, chunked across at most `workers`
+// goroutines when the sweep is large enough to amortize the fan-out. Each
+// worker writes a disjoint range, so the result is identical to the
+// serial kernel sweep — which is itself bit-identical to the gathered
+// scalar loop it replaced (kernel package contract).
+func sweepArena(dist []float64, seed []float64, arena []float64, dim, workers int) {
+	n := len(dist)
 	if workers <= 1 || n < parallelSweepCutoff {
-		for i, idx := range alive {
-			dist[i] = seed.DistSq(records[idx])
-		}
+		kernel.Sweep(dist, seed, arena[:n*dim])
 		return
 	}
 	chunk := (n + workers - 1) / workers
@@ -127,9 +133,7 @@ func sweepDistances(dist []float64, seed mat.Vector, records []mat.Vector, alive
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				dist[i] = seed.DistSq(records[alive[i]])
-			}
+			kernel.Sweep(dist[lo:hi], seed, arena[lo*dim:hi*dim])
 		}(lo, hi)
 	}
 	wg.Wait()
@@ -139,68 +143,10 @@ func sweepDistances(dist []float64, seed mat.Vector, records []mat.Vector, alive
 // positions with the smallest (dist, alive index) keys, in ascending
 // order. order must hold a permutation of [0, len(dist)) on entry.
 //
-// It quickselects with deterministic median-of-three pivots — expected
-// O(n) with no randomness drawn, so it never perturbs the caller's rng
-// stream — then sorts only the selected k entries.
+// The reduction is kernel.TopK: deterministic median-of-three quickselect
+// (expected O(n), no randomness drawn, so it never perturbs the caller's
+// rng stream) followed by a sort of only the selected k entries, under
+// the lexicographic (distance, record index) order every backend shares.
 func selectNearest(order []int, dist []float64, alive []int, k int) {
-	if k < len(order) {
-		quickselect(order, dist, alive, k)
-	}
-	top := order[:k]
-	sort.Slice(top, func(a, b int) bool {
-		return lessByDist(dist, alive, top[a], top[b])
-	})
-}
-
-// lessByDist orders positions by squared distance, breaking ties by the
-// record index so every backend agrees on a deterministic order.
-func lessByDist(dist []float64, alive []int, a, b int) bool {
-	if dist[a] != dist[b] {
-		return dist[a] < dist[b]
-	}
-	return alive[a] < alive[b]
-}
-
-// quickselect partitions order so order[:k] holds the k smallest entries
-// (in arbitrary order) under lessByDist.
-func quickselect(order []int, dist []float64, alive []int, k int) {
-	lo, hi := 0, len(order)-1
-	for lo < hi {
-		p := partition(order, dist, alive, lo, hi)
-		switch {
-		case p == k-1:
-			return
-		case p < k-1:
-			lo = p + 1
-		default:
-			hi = p - 1
-		}
-	}
-}
-
-// partition performs a Lomuto partition of order[lo..hi] around a
-// median-of-three pivot and returns the pivot's final position.
-func partition(order []int, dist []float64, alive []int, lo, hi int) int {
-	mid := lo + (hi-lo)/2
-	// Sort (lo, mid, hi) so the median lands at mid, then stash it at hi.
-	if lessByDist(dist, alive, order[mid], order[lo]) {
-		order[lo], order[mid] = order[mid], order[lo]
-	}
-	if lessByDist(dist, alive, order[hi], order[lo]) {
-		order[lo], order[hi] = order[hi], order[lo]
-	}
-	if lessByDist(dist, alive, order[hi], order[mid]) {
-		order[mid], order[hi] = order[hi], order[mid]
-	}
-	order[mid], order[hi] = order[hi], order[mid]
-	pivot := order[hi]
-	i := lo
-	for j := lo; j < hi; j++ {
-		if lessByDist(dist, alive, order[j], pivot) {
-			order[i], order[j] = order[j], order[i]
-			i++
-		}
-	}
-	order[i], order[hi] = order[hi], order[i]
-	return i
+	kernel.TopK(order, dist, alive, k)
 }

@@ -457,6 +457,24 @@ func (s *Sharded) SetNeighborSearch(search NeighborSearch) error {
 	return nil
 }
 
+// SetIndexPrecision selects the routing index arithmetic for every
+// shard. Precision never changes output: float32 pruning re-verifies in
+// float64 before any routing decision.
+func (s *Sharded) SetIndexPrecision(p IndexPrecision) error {
+	if err := p.validate(); err != nil {
+		return err
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		err := sh.dyn.SetIndexPrecision(p)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SetParallelism bounds the total speculation workers across the engine:
 // the budget (values < 1 mean runtime.NumCPU()) is divided evenly among
 // the shards, each shard receiving at least one worker, since the shards

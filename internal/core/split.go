@@ -31,13 +31,20 @@ import (
 // uniformly random one (ablation). The random source is only consulted for
 // SplitRandom.
 func SplitGroup(m *stats.Group, k int, axis SplitAxis, r *rng.Source) (m1, m2 *stats.Group, err error) {
+	return splitGroupWith(m, k, axis, r, nil)
+}
+
+// splitGroupWith is SplitGroup drawing the eigensolver workspaces from s
+// (nil allocates locally): the dynamic engine passes its per-engine scratch
+// so the steady stream of split eigensolves reuses one set of buffers.
+func splitGroupWith(m *stats.Group, k int, axis SplitAxis, r *rng.Source, s *mat.EigenScratch) (m1, m2 *stats.Group, err error) {
 	if k < 1 {
 		return nil, nil, fmt.Errorf("core: split with k = %d", k)
 	}
 	if m.N() != 2*k {
 		return nil, nil, fmt.Errorf("core: split of group with %d records, want exactly 2k = %d", m.N(), 2*k)
 	}
-	eig, err := m.Eigen()
+	eig, err := m.EigenWith(s)
 	if err != nil {
 		return nil, nil, err
 	}

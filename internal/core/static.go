@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"condensation/internal/kernel"
 	"condensation/internal/knn"
 	"condensation/internal/mat"
 	"condensation/internal/rng"
@@ -170,21 +171,19 @@ func staticCondense(ctx context.Context, records []mat.Vector, k int, r *rng.Sou
 				members = append(members, leftover)
 				break
 			}
-			centroids := make([]mat.Vector, len(groups))
-			for i, g := range groups {
+			// Group centroids are snapshotted once into a flat arena (they
+			// are deliberately not refreshed as leftovers merge in), so
+			// each leftover record is one kernel argmin sweep.
+			centroids := make([]float64, 0, len(groups)*dim)
+			for _, g := range groups {
 				m, err := g.Mean()
 				if err != nil {
 					return nil, nil, err
 				}
-				centroids[i] = m
+				centroids = append(centroids, m...)
 			}
 			for _, idx := range leftover {
-				best, bestD := 0, records[idx].DistSq(centroids[0])
-				for gi := 1; gi < len(centroids); gi++ {
-					if d := records[idx].DistSq(centroids[gi]); d < bestD {
-						best, bestD = gi, d
-					}
-				}
+				best, _ := kernel.ArgminFlat(records[idx], centroids)
 				if err := groups[best].Add(records[idx]); err != nil {
 					return nil, nil, err
 				}
@@ -247,8 +246,21 @@ func newNeighborSearcher(records []mat.Vector, cfg searchConfig) (neighborSearch
 		}
 		return &kdTreeSearcher{records: records, tree: tree, alive: alive, pos: pos}, nil
 	default:
+		dim := 0
+		if len(records) > 0 {
+			dim = len(records[0])
+		}
+		// The arena mirrors the alive set row for row: arena row i holds
+		// the coordinates of record alive[i], so the kernel sweeps run
+		// over contiguous memory instead of gathering through the records
+		// slice. Swap-deletes move rows in lockstep with alive.
+		arena := make([]float64, len(records)*dim)
+		for i, x := range records {
+			copy(arena[i*dim:(i+1)*dim], x)
+		}
 		return &scanSearcher{
-			records:  records,
+			dim:      dim,
+			arena:    arena,
 			alive:    alive,
 			fullSort: cfg.Search == SearchScanSort,
 			workers:  cfg.workers(),
@@ -265,7 +277,8 @@ func newNeighborSearcher(records []mat.Vector, cfg searchConfig) (neighborSearch
 // dist/order/chosen scratch slices are allocated once and reused across
 // groups.
 type scanSearcher struct {
-	records  []mat.Vector
+	dim      int
+	arena    []float64 // flat row-major coordinates, row i = record alive[i]
 	alive    []int
 	fullSort bool
 	workers  int
@@ -278,9 +291,9 @@ type scanSearcher struct {
 func (s *scanSearcher) remaining() int { return len(s.alive) }
 
 func (s *scanSearcher) takeGroup(pick, k int) ([]int, error) {
-	seed := s.records[s.alive[pick]]
+	seed := s.arena[pick*s.dim : (pick+1)*s.dim]
 	dist := s.dist[:len(s.alive)]
-	sweepDistances(dist, seed, s.records, s.alive, s.workers)
+	sweepArena(dist, seed, s.arena, s.dim, s.workers)
 
 	// Order alive positions by distance to the seed; position `pick` has
 	// distance 0 and is selected first (ties broken by record index).
@@ -304,8 +317,10 @@ func (s *scanSearcher) takeGroup(pick, k int) ([]int, error) {
 	s.chosen = append(s.chosen[:0], order[:k]...)
 	sort.Sort(sort.Reverse(sort.IntSlice(s.chosen)))
 	for _, pos := range s.chosen {
-		s.alive[pos] = s.alive[len(s.alive)-1]
-		s.alive = s.alive[:len(s.alive)-1]
+		last := len(s.alive) - 1
+		s.alive[pos] = s.alive[last]
+		copy(s.arena[pos*s.dim:(pos+1)*s.dim], s.arena[last*s.dim:(last+1)*s.dim])
+		s.alive = s.alive[:last]
 	}
 	return group, nil
 }

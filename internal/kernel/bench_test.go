@@ -1,0 +1,88 @@
+package kernel
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func benchArena(rows, dim int) ([]float64, []float64) {
+	r := rand.New(rand.NewPCG(21, 22))
+	flat := make([]float64, rows*dim)
+	for i := range flat {
+		flat[i] = r.NormFloat64()
+	}
+	q := make([]float64, dim)
+	for i := range q {
+		q[i] = r.NormFloat64()
+	}
+	return flat, q
+}
+
+func BenchmarkKernelSweep(b *testing.B) {
+	flat, q := benchArena(800, 8)
+	dist := make([]float64, 800)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Sweep(dist, q, flat)
+	}
+}
+
+func BenchmarkKernelArgminFlat(b *testing.B) {
+	flat, q := benchArena(800, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ArgminFlat(q, flat)
+	}
+}
+
+func BenchmarkKernelArgminBatch(b *testing.B) {
+	flat, _ := benchArena(800, 8)
+	r := rand.New(rand.NewPCG(23, 24))
+	qs := make([][]float64, 1024)
+	for i := range qs {
+		qs[i] = make([]float64, 8)
+		for j := range qs[i] {
+			qs[i][j] = r.NormFloat64()
+		}
+	}
+	ids := make([]int, len(qs))
+	ds := make([]float64, len(qs))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ArgminBatch(ids, ds, qs, flat, 8)
+	}
+}
+
+func BenchmarkKernelMinF32(b *testing.B) {
+	flat, q := benchArena(800, 8)
+	flat32 := make([]float32, len(flat))
+	for i, x := range flat {
+		flat32[i] = float32(x)
+	}
+	q32 := make([]float32, len(q))
+	for i, x := range q {
+		q32[i] = float32(x)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MinF32(q32, flat32)
+	}
+}
+
+func BenchmarkKernelMinCollectF32(b *testing.B) {
+	flat, q := benchArena(800, 8)
+	flat32 := make([]float32, len(flat))
+	for i, x := range flat {
+		flat32[i] = float32(x)
+	}
+	q32 := make([]float32, len(q))
+	for i, x := range q {
+		q32[i] = float32(x)
+	}
+	margin := MarginF32(8, 4)
+	cand := make([]int, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, cand = MinCollectF32(q32, flat32, 2*margin, cand[:0])
+	}
+}

@@ -1,0 +1,231 @@
+package kernel
+
+// Float32 pruning kernels. The float32 index mode stores a shadow copy of
+// the routing arena in float32 and runs the O(G·d) sweep in single
+// precision; exactness is recovered by collecting every row whose f32
+// distance could round down to the true f64 minimum and re-verifying just
+// those candidates in float64. Both passes below compute each row's f32
+// distance with the identical operation order, so a row's distance is a
+// single well-defined value across the min pass and the collect pass.
+
+// F32Ulp is the unit roundoff of float32 (2⁻²⁴): every f32 operation's
+// relative error bound, and the base of the pruning safety margin.
+const F32Ulp = 1.0 / (1 << 24)
+
+// MarginF32 bounds |d32 − d64| for a squared distance over dim
+// coordinates with magnitudes ≤ maxAbs, where d32 is the float32-computed
+// distance of f32-rounded inputs and d64 the exact float64 one. Each
+// coordinate conversion contributes ≤ u·maxAbs, the subtract/multiply
+// each ≤ u relative, and the dim-term summation compounds ≤ dim·u
+// relative — so a per-term bound of (32u)·maxAbs² and a summation bound
+// of (4·dim·u)·(dim·maxAbs²) cover it with room to spare:
+//
+//	margin = u · maxAbs² · (4·dim² + 32·dim)
+//
+// The constants are deliberately loose (×4 over the tight first-order
+// bound); the margin only widens the candidate set, never affects the
+// exact f64 answer.
+func MarginF32(dim int, maxAbs float64) float64 {
+	d := float64(dim)
+	return F32Ulp * maxAbs * maxAbs * (4*d*d + 32*d)
+}
+
+// distSqF32 is the float32 squared distance: single accumulator,
+// ascending index order, so both f32 passes agree bit-for-bit.
+func distSqF32(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("kernel: dimension mismatch")
+	}
+	var s float32
+	i := 0
+	for ; i+3 < len(a) && i+3 < len(b); i += 4 {
+		d0 := a[i] - b[i]
+		s += d0 * d0
+		d1 := a[i+1] - b[i+1]
+		s += d1 * d1
+		d2 := a[i+2] - b[i+2]
+		s += d2 * d2
+		d3 := a[i+3] - b[i+3]
+		s += d3 * d3
+	}
+	for ; i < len(a) && i < len(b); i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// MinF32 returns the minimum float32 squared distance from q to the rows
+// of a flat float32 arena. An empty arena returns +Inf. Rows whose partial
+// sum already exceeds the incumbent minimum are abandoned early: float32
+// partial sums of squares are non-decreasing under IEEE round-to-nearest
+// (adding a non-negative term never rounds below the representable
+// incumbent sum), so an abandoned row's full distance provably cannot be
+// the minimum — the returned value is exactly the full-accumulation min.
+func MinF32(q []float32, block []float32) float32 {
+	d := len(q)
+	rows := len(block) / d
+	if len(block) != rows*d {
+		panic("kernel: arena size mismatch")
+	}
+	min := float32Inf()
+	if d == 8 {
+		q0, q1, q2, q3, q4, q5, q6, q7 := q[0], q[1], q[2], q[3], q[4], q[5], q[6], q[7]
+		for i := 0; i < rows; i++ {
+			r := block[i*8 : i*8+8]
+			_ = r[7]
+			d0 := r[0] - q0
+			s := d0 * d0
+			d1 := r[1] - q1
+			s += d1 * d1
+			d2 := r[2] - q2
+			s += d2 * d2
+			d3 := r[3] - q3
+			s += d3 * d3
+			if s > min {
+				continue
+			}
+			d4 := r[4] - q4
+			s += d4 * d4
+			d5 := r[5] - q5
+			s += d5 * d5
+			d6 := r[6] - q6
+			s += d6 * d6
+			d7 := r[7] - q7
+			s += d7 * d7
+			if s < min {
+				min = s
+			}
+		}
+		return min
+	}
+	for i := 0; i < rows; i++ {
+		if dd := distSqF32(block[i*d:i*d+d], q); dd < min {
+			min = dd
+		}
+	}
+	return min
+}
+
+// CollectWithinF32 appends to cand the indices of every arena row whose
+// float32 squared distance, widened to float64, is ≤ thr, in ascending
+// row order, and returns the extended slice. With thr = min32 + 2·margin
+// the result provably contains every row whose exact f64 distance equals
+// the true minimum (see MarginF32), so an exact f64 re-verification of
+// the candidates reproduces the full-precision lexicographic argmin.
+// Rows are abandoned once their monotone partial sum exceeds thr (see
+// MinF32); collected rows always carry the full-accumulation distance.
+func CollectWithinF32(q []float32, block []float32, thr float64, cand []int) []int {
+	d := len(q)
+	rows := len(block) / d
+	if len(block) != rows*d {
+		panic("kernel: arena size mismatch")
+	}
+	if d == 8 {
+		q0, q1, q2, q3, q4, q5, q6, q7 := q[0], q[1], q[2], q[3], q[4], q[5], q[6], q[7]
+		for i := 0; i < rows; i++ {
+			r := block[i*8 : i*8+8]
+			_ = r[7]
+			d0 := r[0] - q0
+			s := d0 * d0
+			d1 := r[1] - q1
+			s += d1 * d1
+			d2 := r[2] - q2
+			s += d2 * d2
+			d3 := r[3] - q3
+			s += d3 * d3
+			if float64(s) > thr {
+				continue
+			}
+			d4 := r[4] - q4
+			s += d4 * d4
+			d5 := r[5] - q5
+			s += d5 * d5
+			d6 := r[6] - q6
+			s += d6 * d6
+			d7 := r[7] - q7
+			s += d7 * d7
+			if float64(s) <= thr {
+				cand = append(cand, i)
+			}
+		}
+		return cand
+	}
+	for i := 0; i < rows; i++ {
+		if float64(distSqF32(block[i*d:i*d+d], q)) <= thr {
+			cand = append(cand, i)
+		}
+	}
+	return cand
+}
+
+// MinCollectF32 fuses the min sweep and the candidate collection into a
+// single pass over the arena: it returns the exact full-accumulation
+// float32 minimum, plus — appended to cand in ascending row order — every
+// row whose distance, widened to float64, is ≤ the running minimum so far
+// + slack. The running minimum only decreases during the sweep, so the
+// collected set is a superset of {rows ≤ final-min + slack}: it still
+// contains every row that could achieve the exact float64 minimum (see
+// MarginF32 with slack = 2·margin), and the exact re-verification pass
+// simply discards the extras. Rows whose monotone partial sum already
+// exceeds the current threshold are abandoned (see MinF32): they can
+// neither be collected nor improve the minimum.
+func MinCollectF32(q []float32, block []float32, slack float64, cand []int) (float32, []int) {
+	d := len(q)
+	rows := len(block) / d
+	if len(block) != rows*d {
+		panic("kernel: arena size mismatch")
+	}
+	min := float32Inf()
+	thr := float64(min)
+	if d == 8 {
+		q0, q1, q2, q3, q4, q5, q6, q7 := q[0], q[1], q[2], q[3], q[4], q[5], q[6], q[7]
+		for i := 0; i < rows; i++ {
+			r := block[i*8 : i*8+8]
+			_ = r[7]
+			d0 := r[0] - q0
+			s := d0 * d0
+			d1 := r[1] - q1
+			s += d1 * d1
+			d2 := r[2] - q2
+			s += d2 * d2
+			d3 := r[3] - q3
+			s += d3 * d3
+			if float64(s) > thr {
+				continue
+			}
+			d4 := r[4] - q4
+			s += d4 * d4
+			d5 := r[5] - q5
+			s += d5 * d5
+			d6 := r[6] - q6
+			s += d6 * d6
+			d7 := r[7] - q7
+			s += d7 * d7
+			if float64(s) <= thr {
+				cand = append(cand, i)
+			}
+			if s < min {
+				min = s
+				thr = float64(min) + slack
+			}
+		}
+		return min, cand
+	}
+	for i := 0; i < rows; i++ {
+		s := distSqF32(block[i*d:i*d+d], q)
+		if float64(s) <= thr {
+			cand = append(cand, i)
+		}
+		if s < min {
+			min = s
+			thr = float64(min) + slack
+		}
+	}
+	return min, cand
+}
+
+// float32Inf avoids importing math for a constant.
+func float32Inf() float32 {
+	return float32(inf())
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"condensation/internal/kernel"
 	"condensation/internal/mat"
 )
 
@@ -82,8 +83,10 @@ const centroidRebuildMin = 16
 
 // ctLeafSize is the maximum leaf bucket size: leaves are contiguous flat
 // sweeps and internal boxes cost a distance test per visit, so leaves are
-// kept fat enough that box tests don't dominate the visit budget.
-const ctLeafSize = 16
+// kept fat enough that box tests don't dominate the visit budget. The
+// kernel's pruned leaf sweep runs at a few cycles per row, which moves
+// the balance point up to fat 64-row leaves.
+const ctLeafSize = 64
 
 // ctBudgetShrink divides the root box diagonal to set the per-point drift
 // budget: drifts up to diagonal/ctBudgetShrink ride in the tree (inflating
@@ -171,14 +174,17 @@ func (c *CentroidIndex) Update(id int, p mat.Vector) error {
 
 // maybeRebuild rebuilds the tree over current positions when enough has
 // changed to matter: the dirty list has outgrown an eighth of the point
-// set, or enough in-tree updates have accumulated that re-tightening the
-// boxes (and resetting the drift inflation ε) pays for the build. Both
-// triggers are floored so tiny indexes, where the linear scan wins anyway,
-// never rebuild. Rebuilding re-files every point into reused buffers.
+// set, or two updates per point have accumulated, enough that
+// re-tightening the boxes (and resetting the drift inflation ε) pays for
+// the build — centroid moves shrink as groups fill, so the boxes stay
+// nearly tight for a long time and rebuilding more eagerly costs more in
+// builds than it saves in pruning. Both triggers are floored so tiny
+// indexes, where the linear scan wins anyway, never rebuild. Rebuilding
+// re-files every point into reused buffers.
 func (c *CentroidIndex) maybeRebuild() {
 	n := len(c.points)
 	dirtyTrigger := len(c.dirty) >= centroidRebuildMin && 8*len(c.dirty) >= n
-	updateTrigger := c.updates >= 4*centroidRebuildMin && 2*c.updates >= n
+	updateTrigger := c.updates >= 4*centroidRebuildMin && c.updates >= 2*n
 	if !dirtyTrigger && !updateTrigger {
 		return
 	}
@@ -338,21 +344,20 @@ func (c *CentroidIndex) Nearest(q mat.Vector) (int, float64) {
 	if c.root >= 0 {
 		c.treeSearch(c.root, &s)
 	}
-	for _, id := range c.dirty {
-		if d := q.DistSq(c.points[id]); d < s.bestD || (d == s.bestD && id < s.best) {
-			s.best, s.bestD = id, d
-		}
-	}
+	// Dirty points live outside the tree until the next rebuild; fold
+	// them in with the gather argmin kernel under the same (distance, id)
+	// lexicographic order as the inline scan it replaced.
+	s.best, s.bestD = kernel.ArgminIndexed(q, c.points, c.dirty, s.best, s.bestD)
 	return s.best, s.bestD
 }
 
 // boxDist returns the squared distance from q to node ni's bounding box
 // (zero inside the box) — a lower bound on the build-time distance to any
 // point of the subtree; points may since have drifted up to ε closer,
-// which the caller's inflated bound accounts for. Accumulation stops as
-// soon as the partial sum exceeds bound: the caller only compares the
-// result against bound, so any value above it is equivalent.
-func (c *CentroidIndex) boxDist(ni int, q mat.Vector, bound float64) float64 {
+// which the caller's inflated bound accounts for. The loop runs straight
+// through all dims: an early bound exit costs more in per-dim branches
+// than the few saved flops for the handful of dims a box has.
+func (c *CentroidIndex) boxDist(ni int, q mat.Vector) float64 {
 	box := c.boxes[ni*2*c.dim:]
 	lo, hi := box[:len(q)], box[c.dim:c.dim+len(q)]
 	var s float64
@@ -363,11 +368,6 @@ func (c *CentroidIndex) boxDist(ni int, q mat.Vector, bound float64) float64 {
 		} else if h := hi[j]; v > h {
 			d := v - h
 			s += d * d
-		} else {
-			continue
-		}
-		if s > bound {
-			return s
 		}
 	}
 	return s
@@ -384,22 +384,21 @@ func (c *CentroidIndex) boxDist(ni int, q mat.Vector, bound float64) float64 {
 func (c *CentroidIndex) treeSearch(ni int, s *ctQuery) {
 	node := &c.nodes[ni]
 	if node.left < 0 {
-		q := s.q
-		for i := node.lo; i < node.hi; i++ {
-			p := c.flat[i*c.dim:]
-			p = p[:len(q)]
-			var d float64
-			for j, v := range q {
-				e := v - p[j]
-				d += e * e
-			}
-			if d <= s.bestD {
-				s.improve(c.perm[i], d)
-			}
+		// One fused kernel sweep over the leaf's contiguous arena rows,
+		// with perm carrying each row's centroid id. Tombstone rows are
+		// +Inf coordinates, so their distances are +Inf and never win —
+		// exactly as in the scalar loop this replaces. The drift-inflated
+		// bound is only consulted at internal nodes, so refreshing it once
+		// after the leaf (instead of per improvement) changes nothing.
+		id, d := kernel.ArgminFlatIDs(s.q, c.flat[node.lo*c.dim:node.hi*c.dim], c.perm[node.lo:node.hi], s.best, s.bestD)
+		if d < s.bestD {
+			s.improve(id, d)
+		} else {
+			s.best = id // equal distance, lower id
 		}
 		return
 	}
-	dl, dr := c.boxDist(node.left, s.q, s.inflated), c.boxDist(node.right, s.q, s.inflated)
+	dl, dr := c.boxDist(node.left, s.q), c.boxDist(node.right, s.q)
 	if dl <= dr {
 		if dl <= s.inflated {
 			c.treeSearch(node.left, s)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"condensation/internal/kernel"
 	"condensation/internal/mat"
 )
 
@@ -165,7 +166,7 @@ func (t *DynamicKDTree) search(node *dynNode, query mat.Vector, k int, h *neighb
 	}
 	p := t.points[node.idx]
 	if !node.dead {
-		d := query.DistSq(p)
+		d := kernel.DistSq(query, p)
 		if len(*h) < k {
 			h.push(Neighbor{Index: node.idx, DistSq: d})
 		} else if d < (*h)[0].DistSq {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 
+	"condensation/internal/kernel"
 	"condensation/internal/mat"
 )
 
@@ -179,7 +180,7 @@ func (t *KDTree) search(node *kdNode, query mat.Vector, k int, h *neighborHeap) 
 		return
 	}
 	p := t.points[node.idx]
-	d := query.DistSq(p)
+	d := kernel.DistSq(query, p)
 	if len(*h) < k {
 		h.push(Neighbor{Index: node.idx, DistSq: d})
 	} else if d < (*h)[0].DistSq {
@@ -217,7 +218,7 @@ func BruteNearest(points []mat.Vector, query mat.Vector, k int) ([]Neighbor, err
 	}
 	h := make(neighborHeap, 0, k)
 	for i, p := range points {
-		d := query.DistSq(p)
+		d := kernel.DistSq(query, p)
 		if len(h) < k {
 			h.push(Neighbor{Index: i, DistSq: d})
 		} else if d < h[0].DistSq {

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Eigen holds the eigendecomposition C = P Λ Pᵀ of a symmetric matrix:
@@ -29,6 +28,39 @@ var ErrNotSymmetric = errors.New("mat: matrix is not symmetric")
 // ErrNotFinite is returned when an input matrix contains NaN or Inf.
 var ErrNotFinite = errors.New("mat: matrix has non-finite entries")
 
+// EigenScratch holds the reusable working storage of a SymEigenWith call:
+// the symmetric working copy, the accumulating rotation matrix, and the
+// eigenpair sort buffer. A zero value is ready to use; buffers grow to the
+// largest dimension seen and are reused across calls. A scratch must not
+// be shared by concurrent eigensolves — give each worker its own. Only the
+// workspaces are reused: the Values and Vectors of every returned Eigen
+// are freshly allocated, so results never alias the scratch and remain
+// valid after later calls.
+type EigenScratch struct {
+	a     []float64 // symmetric working copy, d*d
+	p     []float64 // accumulating eigenvector rotations, d*d
+	pairs []eigPair // eigenpair sort buffer, d
+}
+
+// eigPair carries one diagonal value and its column through the descending
+// stable sort that orders the eigenpairs.
+type eigPair struct {
+	val float64
+	col int
+}
+
+// grow sizes the scratch for dimension d.
+func (s *EigenScratch) grow(d int) {
+	if cap(s.a) < d*d {
+		s.a = make([]float64, d*d)
+		s.p = make([]float64, d*d)
+		s.pairs = make([]eigPair, d)
+	}
+	s.a = s.a[:d*d]
+	s.p = s.p[:d*d]
+	s.pairs = s.pairs[:d]
+}
+
 // SymEigen computes the full eigendecomposition of the symmetric matrix c
 // using the cyclic Jacobi method with threshold sweeps. The input is not
 // modified. Eigenvalues are returned in non-increasing order, matching the
@@ -40,6 +72,15 @@ var ErrNotFinite = errors.New("mat: matrix has non-finite entries")
 // to high relative accuracy. For the d ≤ few-hundred covariance matrices of
 // tabular anonymization its O(d³) sweeps are not a bottleneck.
 func SymEigen(c *Matrix) (Eigen, error) {
+	return SymEigenWith(c, nil)
+}
+
+// SymEigenWith is SymEigen drawing its working storage from s, so a caller
+// performing many small eigensolves (per-group synthesis, split decisions)
+// amortizes the workspace allocations across calls. A nil s allocates
+// locally. The result is bit-identical to SymEigen: the same rotations in
+// the same order on the same working copy, only the storage is reused.
+func SymEigenWith(c *Matrix, s *EigenScratch) (Eigen, error) {
 	d := c.Rows()
 	if c.Cols() != d {
 		return Eigen{}, fmt.Errorf("mat: SymEigen of non-square %dx%d matrix", d, c.Cols())
@@ -56,38 +97,66 @@ func SymEigen(c *Matrix) (Eigen, error) {
 	if d == 0 {
 		return Eigen{Values: Vector{}, Vectors: New(0, 0)}, nil
 	}
-
-	a := c.Clone().Symmetrize() // work on an exactly symmetric copy
-	p := Identity(d)
-
 	if d == 1 {
-		return Eigen{Values: Vector{a.At(0, 0)}, Vectors: p}, nil
+		// Fresh Identity, never scratch-backed: the result must outlive
+		// the next call on the same scratch.
+		return Eigen{Values: Vector{c.At(0, 0)}, Vectors: Identity(d)}, nil
+	}
+
+	if s == nil {
+		s = &EigenScratch{}
+	}
+	s.grow(d)
+	a, p := s.a, s.p
+
+	// Work on an exactly symmetric copy (the same (a+aᵀ)/2 averaging as
+	// Matrix.Symmetrize), accumulating rotations from the identity.
+	copy(a, c.data)
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			avg := (a[i*d+j] + a[j*d+i]) / 2
+			a[i*d+j] = avg
+			a[j*d+i] = avg
+		}
+	}
+	for i := range p {
+		p[i] = 0
+	}
+	for i := 0; i < d; i++ {
+		p[i*d+i] = 1
 	}
 
 	off := func() float64 {
 		var s float64
 		for i := 0; i < d; i++ {
 			for j := i + 1; j < d; j++ {
-				x := a.At(i, j)
+				x := a[i*d+j]
 				s += 2 * x * x
 			}
 		}
 		return s
 	}
+	frob := func() float64 {
+		var s float64
+		for _, x := range a {
+			s += x * x
+		}
+		return math.Sqrt(s)
+	}
 
 	// Convergence threshold relative to the matrix scale.
-	eps := 1e-14 * (1 + a.FrobeniusNorm())
+	eps := 1e-14 * (1 + frob())
 	tol := eps * eps
 
 	for sweep := 0; sweep < jacobiMaxSweeps && off() > tol; sweep++ {
 		for i := 0; i < d-1; i++ {
 			for j := i + 1; j < d; j++ {
-				apq := a.At(i, j)
+				apq := a[i*d+j]
 				if math.Abs(apq) <= eps/float64(d) {
 					continue
 				}
-				app := a.At(i, i)
-				aqq := a.At(j, j)
+				app := a[i*d+i]
+				aqq := a[j*d+j]
 				// Rotation angle from the standard stable formulation.
 				theta := (aqq - app) / (2 * apq)
 				var t float64
@@ -99,70 +168,75 @@ func SymEigen(c *Matrix) (Eigen, error) {
 				cth := 1 / math.Sqrt(t*t+1)
 				sth := t * cth
 
-				rotate(a, i, j, cth, sth)
-				rotateCols(p, i, j, cth, sth)
+				rotate(a, d, i, j, cth, sth)
+				rotateCols(p, d, i, j, cth, sth)
 			}
 		}
 	}
 
-	// Collect eigenpairs and sort by eigenvalue, descending.
-	type pair struct {
-		val float64
-		col int
-	}
-	pairs := make([]pair, d)
+	// Collect eigenpairs and stable-sort by eigenvalue, descending. The
+	// insertion sort is stable, so the column permutation — and with it
+	// every output bit — matches the sort.SliceStable it replaces.
+	pairs := s.pairs
 	for j := 0; j < d; j++ {
-		pairs[j] = pair{val: a.At(j, j), col: j}
+		pairs[j] = eigPair{val: a[j*d+j], col: j}
 	}
-	sort.SliceStable(pairs, func(x, y int) bool { return pairs[x].val > pairs[y].val })
+	for i := 1; i < d; i++ {
+		pr := pairs[i]
+		j := i
+		for ; j > 0 && pairs[j-1].val < pr.val; j-- {
+			pairs[j] = pairs[j-1]
+		}
+		pairs[j] = pr
+	}
 
 	values := make(Vector, d)
 	vectors := New(d, d)
 	for newCol, pr := range pairs {
 		values[newCol] = pr.val
-		vectors.SetCol(newCol, p.Col(pr.col))
+		for i := 0; i < d; i++ {
+			vectors.data[i*d+newCol] = p[i*d+pr.col]
+		}
 	}
 	canonicalizeSigns(vectors)
 	return Eigen{Values: values, Vectors: vectors}, nil
 }
 
-// rotate applies the two-sided Jacobi rotation J(i,j,θ)ᵀ · a · J(i,j,θ) in
-// place, exploiting symmetry.
-func rotate(a *Matrix, p, q int, c, s float64) {
-	d := a.Rows()
-	app := a.At(p, p)
-	aqq := a.At(q, q)
-	apq := a.At(p, q)
+// rotate applies the two-sided Jacobi rotation J(p,q,θ)ᵀ · a · J(p,q,θ) in
+// place on the flat d×d working copy, exploiting symmetry.
+func rotate(a []float64, d, p, q int, c, s float64) {
+	app := a[p*d+p]
+	aqq := a[q*d+q]
+	apq := a[p*d+q]
 
-	a.Set(p, p, c*c*app-2*s*c*apq+s*s*aqq)
-	a.Set(q, q, s*s*app+2*s*c*apq+c*c*aqq)
-	a.Set(p, q, 0)
-	a.Set(q, p, 0)
+	a[p*d+p] = c*c*app - 2*s*c*apq + s*s*aqq
+	a[q*d+q] = s*s*app + 2*s*c*apq + c*c*aqq
+	a[p*d+q] = 0
+	a[q*d+p] = 0
 
 	for k := 0; k < d; k++ {
 		if k == p || k == q {
 			continue
 		}
-		akp := a.At(k, p)
-		akq := a.At(k, q)
+		akp := a[k*d+p]
+		akq := a[k*d+q]
 		nkp := c*akp - s*akq
 		nkq := s*akp + c*akq
-		a.Set(k, p, nkp)
-		a.Set(p, k, nkp)
-		a.Set(k, q, nkq)
-		a.Set(q, k, nkq)
+		a[k*d+p] = nkp
+		a[p*d+k] = nkp
+		a[k*d+q] = nkq
+		a[q*d+k] = nkq
 	}
 }
 
 // rotateCols applies the rotation to columns p and q of the accumulating
-// eigenvector matrix.
-func rotateCols(m *Matrix, p, q int, c, s float64) {
-	d := m.Rows()
+// flat d×d eigenvector matrix.
+func rotateCols(m []float64, d, p, q int, c, s float64) {
 	for k := 0; k < d; k++ {
-		mkp := m.At(k, p)
-		mkq := m.At(k, q)
-		m.Set(k, p, c*mkp-s*mkq)
-		m.Set(k, q, s*mkp+c*mkq)
+		mkp := m[k*d+p]
+		mkq := m[k*d+q]
+		m[k*d+p] = c*mkp - s*mkq
+		m[k*d+q] = s*mkp + c*mkq
 	}
 }
 

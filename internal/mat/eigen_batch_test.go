@@ -1,0 +1,175 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// eigenBits flattens an Eigen into comparable uint64 bit patterns so
+// equality checks are exact, not tolerance-based.
+func eigenBits(e Eigen) []uint64 {
+	var out []uint64
+	for _, v := range e.Values {
+		out = append(out, math.Float64bits(v))
+	}
+	d := e.Vectors.Rows()
+	for i := 0; i < d; i++ {
+		for _, v := range e.Vectors.Row(i) {
+			out = append(out, math.Float64bits(v))
+		}
+	}
+	return out
+}
+
+func eigenBitsEqual(a, b Eigen) bool {
+	x, y := eigenBits(a), eigenBits(b)
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSymEigenWithMatchesSymEigen reuses one scratch across solves of
+// varying dimension — including the 0 and 1 early returns and repeated
+// sizes — and demands bit-identical results to the scratch-free path, with
+// earlier results unharmed by later calls on the same scratch.
+func TestSymEigenWithMatchesSymEigen(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	var s EigenScratch
+	dims := []int{3, 8, 1, 5, 8, 0, 2, 8, 34, 4}
+	var kept []Eigen
+	var want []Eigen
+	for _, d := range dims {
+		c := randomSPD(r, d)
+		ref, err := SymEigen(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SymEigenWith(c, &s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eigenBitsEqual(got, ref) {
+			t.Fatalf("dim %d: SymEigenWith diverged from SymEigen", d)
+		}
+		kept = append(kept, got)
+		want = append(want, ref)
+	}
+	// Results must not alias the scratch: every earlier decomposition
+	// still matches after the scratch served larger and smaller solves.
+	for i := range kept {
+		if !eigenBitsEqual(kept[i], want[i]) {
+			t.Fatalf("solve %d (dim %d) was clobbered by later scratch reuse", i, dims[i])
+		}
+	}
+}
+
+// TestSymEigenBatchMatchesLoop is the batch contract: at every worker
+// count the batch output is byte-identical to a sequential SymEigen loop.
+func TestSymEigenBatchMatchesLoop(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	cs := make([]*Matrix, 137)
+	want := make([]Eigen, len(cs))
+	for i := range cs {
+		cs[i] = randomSPD(r, 1+i%9)
+		var err error
+		want[i], err = SymEigen(cs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 2, 5, 16} {
+		got, err := SymEigenBatch(cs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if !eigenBitsEqual(got[i], want[i]) {
+				t.Fatalf("workers=%d: matrix %d diverged from looped SymEigen", workers, i)
+			}
+		}
+	}
+}
+
+// TestSymEigenBatchObserved checks the sampled stage timer: one solve in
+// sampleEvery is observed, sampling is observe-only (identical results),
+// and no observation happens with a nil observe or zero stride.
+func TestSymEigenBatchObserved(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	cs := make([]*Matrix, 200)
+	for i := range cs {
+		cs[i] = randomSPD(r, 6)
+	}
+	want, err := SymEigenBatch(cs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var samples int
+	got, err := SymEigenBatchObserved(cs, 3, 64, func(sec float64) {
+		if sec < 0 {
+			t.Errorf("negative sample %v", sec)
+		}
+		samples++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Indices 0, 64, 128 are sampled out of 200.
+	if wantSamples := (len(cs) + 63) / 64; samples != wantSamples {
+		t.Errorf("observed %d samples, want %d", samples, wantSamples)
+	}
+	for i := range got {
+		if !eigenBitsEqual(got[i], want[i]) {
+			t.Fatalf("matrix %d: observed batch diverged from unobserved", i)
+		}
+	}
+	if _, err := SymEigenBatchObserved(cs, 2, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSymEigenBatchError checks the lowest-index failure surfaces with its
+// index and the underlying sentinel intact.
+func TestSymEigenBatchError(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	cs := make([]*Matrix, 40)
+	for i := range cs {
+		cs[i] = randomSPD(r, 4)
+	}
+	bad := New(4, 4)
+	bad.Set(0, 1, 5) // asymmetric
+	cs[17] = bad
+	for _, workers := range []int{1, 8} {
+		_, err := SymEigenBatch(cs, workers)
+		if !errors.Is(err, ErrNotSymmetric) {
+			t.Fatalf("workers=%d: err = %v, want ErrNotSymmetric", workers, err)
+		}
+	}
+}
+
+// BenchmarkSymEigenBatch is the batched per-group eigensolve cell: 800
+// dim-8 covariance solves per op, the synthesis phase-2 shape at G=800.
+func BenchmarkSymEigenBatch(b *testing.B) {
+	r := rand.New(rand.NewSource(15))
+	cs := make([]*Matrix, 800)
+	for i := range cs {
+		cs[i] = randomSPD(r, 8)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SymEigenBatch(cs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -204,11 +204,18 @@ func (g *Group) Variance(j int) (float64, error) {
 // covariance (Equation 1 of the paper), with eigenvalues clamped to be
 // non-negative, ordered λ₁ ≥ … ≥ λ_d.
 func (g *Group) Eigen() (mat.Eigen, error) {
+	return g.EigenWith(nil)
+}
+
+// EigenWith is Eigen drawing the eigensolver's working storage from s (nil
+// allocates locally) — bit-identical results, amortized workspaces for
+// callers that decompose many groups, such as the dynamic split path.
+func (g *Group) EigenWith(s *mat.EigenScratch) (mat.Eigen, error) {
 	c, err := g.Covariance()
 	if err != nil {
 		return mat.Eigen{}, err
 	}
-	e, err := mat.SymEigen(c)
+	e, err := mat.SymEigenWith(c, s)
 	if err != nil {
 		return mat.Eigen{}, err
 	}
