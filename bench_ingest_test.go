@@ -6,17 +6,20 @@ package condensation
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"condensation/internal/core"
 	"condensation/internal/mat"
 	"condensation/internal/rng"
 	"condensation/internal/server"
 	"condensation/internal/stream"
+	"condensation/internal/telemetry"
 )
 
 // benchStream draws an i.i.d. isotropic Gaussian record pool — the
@@ -320,5 +323,86 @@ func BenchmarkServerIngest(b *testing.B) {
 			b.Fatalf("ingest status %d: %s", rec.Code, rec.Body.String())
 		}
 		fed += batchSize
+	}
+}
+
+// BenchmarkServerIngestRecorded measures the observability tax on the HTTP
+// ingest path: the same pinned-G batch POST loop as BenchmarkServerIngest,
+// once with telemetry disabled, once with the full PR 8 stack enabled — a
+// registry, a flight recorder scraping every millisecond on its own
+// goroutine (hundreds of times more often than the production 10s default),
+// and a watchdog evaluating the health rules after every scrape. Because
+// scrapes never run inline on the request path, the "recorded" cell should
+// sit within noise of "off": the only hot-path cost is the atomic counter
+// and histogram updates the server already pays whenever a registry is
+// attached.
+func BenchmarkServerIngestRecorded(b *testing.B) {
+	const dim, k, batchSize = 8, 25, 1024
+	const G = 800
+	full := benchStreamCorr(14, G*k+1<<14, dim)
+	base := benchBase(b, full, G, k)
+	c, err := core.NewCondenser(k, core.WithSeed(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := full[G*k:]
+	var bodies [][]byte
+	for lo := 0; lo+batchSize <= len(pool); lo += batchSize {
+		rows := make([][]float64, batchSize)
+		for i, x := range pool[lo : lo+batchSize] {
+			rows[i] = []float64(x)
+		}
+		body, err := json.Marshal(map[string]interface{}{"records": rows})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies = append(bodies, body)
+	}
+	for _, recorded := range []bool{false, true} {
+		name := "off"
+		if recorded {
+			name = "recorded"
+		}
+		b.Run(name, func(b *testing.B) {
+			fresh := func() *server.Server {
+				cfg := server.Config{Dim: dim, Condenser: c, Initial: base}
+				if recorded {
+					reg := telemetry.NewRegistry()
+					rec := telemetry.NewRecorder(reg, 360)
+					wd := telemetry.NewWatchdog(reg, nil, server.HealthRules(1)...)
+					cfg.Telemetry, cfg.Recorder, cfg.Watchdog = reg, rec, wd
+					ctx, cancel := context.WithCancel(context.Background())
+					b.Cleanup(cancel)
+					go rec.Run(ctx, time.Millisecond, func(telemetry.Window) {
+						wd.Evaluate(rec)
+					})
+				}
+				s, err := server.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return s
+			}
+			s := fresh()
+			fed := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done := 0; done < b.N; done += batchSize {
+				if fed >= benchResetEvery {
+					b.StopTimer()
+					s = fresh()
+					fed = 0
+					b.StartTimer()
+				}
+				req := httptest.NewRequest(http.MethodPost, "/v1/records",
+					bytes.NewReader(bodies[(done/batchSize)%len(bodies)]))
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("ingest status %d: %s", rec.Code, rec.Body.String())
+				}
+				fed += batchSize
+			}
+		})
 	}
 }

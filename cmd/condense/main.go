@@ -23,6 +23,9 @@
 //	-par int        static distance-sweep parallelism (0 = all CPUs)
 //	-audit          print a per-class privacy-audit report (JSON) to stderr
 //	-trace-out file write a Chrome trace of the condensation pipeline
+//	-watch url      probe a running condenserd and print a one-shot
+//	                health/trend report instead of condensing (-watch-last
+//	                bounds the flight-recorder windows shown)
 package main
 
 import (
@@ -66,6 +69,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		logFormat = fs.String("log-format", "text", "log format: text or json")
 		auditFlag = fs.Bool("audit", false, "print a per-class privacy-audit report (JSON) to stderr")
 		traceOut  = fs.String("trace-out", "", "write a Chrome trace-event file of the condensation pipeline")
+		watch     = fs.String("watch", "", "probe a running condenserd at this base URL and print a one-shot health/trend report (no -in/-out needed)")
+		watchLast = fs.Int("watch-last", 10, "flight-recorder windows to show in the -watch report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +78,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	log, err := telemetry.NewLogger(stderr, *logLevel, *logFormat)
 	if err != nil {
 		return err
+	}
+	if *watch != "" {
+		return watchReport(stdout, *watch, *watchLast)
 	}
 	if *in == "" || *out == "" {
 		fs.Usage()

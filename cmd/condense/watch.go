@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"condensation/internal/telemetry"
+)
+
+// watchClient bounds every probe: a watch report is a health check, and a
+// health check that hangs is itself an answer.
+var watchClient = &http.Client{Timeout: 10 * time.Second}
+
+// watchHealth mirrors the fields of the server's /healthz body the report
+// prints.
+type watchHealth struct {
+	Status        string  `json:"status"`
+	GoVersion     string  `json:"go_version"`
+	VCSRevision   string  `json:"vcs_revision"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	K             int     `json:"k"`
+	Shards        int     `json:"shards"`
+	Groups        int     `json:"groups"`
+	Records       int     `json:"records"`
+}
+
+// watchRules mirrors /v1/health/rules.
+type watchRules struct {
+	Status string                 `json:"status"`
+	Rules  []telemetry.RuleStatus `json:"rules"`
+}
+
+// watchHistory mirrors /v1/history.
+type watchHistory struct {
+	Capacity int                `json:"capacity"`
+	Recorded uint64             `json:"recorded"`
+	Windows  []telemetry.Window `json:"windows"`
+}
+
+// watchGet fetches base+path and decodes the JSON body into v. A 404
+// (feature disabled on the daemon) returns errDisabled so the report can
+// say so instead of failing.
+var errDisabled = fmt.Errorf("not enabled on the daemon")
+
+func watchGet(base, path string, v interface{}) error {
+	resp, err := watchClient.Get(strings.TrimRight(base, "/") + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return errDisabled
+	}
+	// /healthz answers 503 with a full body when failing — still a report.
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// watchReport probes a running condenserd and prints a one-shot health
+// and trend report: build identity, watchdog rule states, and the last
+// few flight-recorder windows as an ingest/group/latency table.
+func watchReport(w io.Writer, base string, last int) error {
+	var health watchHealth
+	if err := watchGet(base, "/healthz", &health); err != nil {
+		return fmt.Errorf("probing %s: %w", base, err)
+	}
+	rev := health.VCSRevision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev == "" {
+		rev = "unknown"
+	}
+	fmt.Fprintf(w, "condenserd %s: %s\n", base, health.Status)
+	fmt.Fprintf(w, "  %s rev %s, up %s, k=%d shards=%d: %d records in %d groups\n",
+		health.GoVersion, rev, (time.Duration(health.UptimeSeconds) * time.Second).String(),
+		health.K, health.Shards, health.Records, health.Groups)
+
+	var rules watchRules
+	switch err := watchGet(base, "/v1/health/rules", &rules); err {
+	case nil:
+		fmt.Fprintf(w, "health rules (%s):\n", rules.Status)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		for _, r := range rules.Rules {
+			fmt.Fprintf(tw, "  %s\t%s\talerts=%d\t%s\n", r.State, r.Name, r.Alerts, r.Detail)
+		}
+		tw.Flush()
+	case errDisabled:
+		fmt.Fprintln(w, "health watchdog not enabled (-scrape-every 0)")
+	default:
+		return err
+	}
+
+	var hist watchHistory
+	switch err := watchGet(base, fmt.Sprintf("/v1/history?last=%d", last), &hist); err {
+	case nil:
+		fmt.Fprintf(w, "flight recorder: %d window(s) recorded, showing %d (ring holds %d)\n",
+			hist.Recorded, len(hist.Windows), hist.Capacity)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "  seq\tend\t+records\tgroups\tingest p95\n")
+		for _, win := range hist.Windows {
+			fmt.Fprintf(tw, "  %d\t%s\t%s\t%s\t%s\n",
+				win.Seq, win.End.Format("15:04:05"),
+				watchCounterDelta(win, "condense_stream_records_total"),
+				watchGauge(win, "condense_groups"),
+				watchQuantile(win, `http_request_seconds{path="/v1/records"}`))
+		}
+		tw.Flush()
+	case errDisabled:
+		fmt.Fprintln(w, "flight recorder not enabled (-scrape-every 0)")
+	default:
+		return err
+	}
+	return nil
+}
+
+// watchCounterDelta renders a counter family's summed per-window delta,
+// or "-" when the family is absent. Summing folds a sharded daemon's
+// shard="i" series into one stream-wide figure.
+func watchCounterDelta(win telemetry.Window, family string) string {
+	var sum uint64
+	found := false
+	for id, c := range win.Counters {
+		if id == family || strings.HasPrefix(id, family+"{") {
+			sum += c.Delta
+			found = true
+		}
+	}
+	if !found {
+		return "-"
+	}
+	return fmt.Sprintf("+%d", sum)
+}
+
+// watchGauge renders a gauge family's sum, or "-" when absent.
+func watchGauge(win telemetry.Window, family string) string {
+	var sum float64
+	found := false
+	for id, g := range win.Gauges {
+		if id == family || strings.HasPrefix(id, family+"{") {
+			sum += float64(g)
+			found = true
+		}
+	}
+	if !found {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", sum)
+}
+
+// watchQuantile renders a histogram's windowed p95, or "-" for windows
+// without traffic.
+func watchQuantile(win telemetry.Window, series string) string {
+	h, ok := win.Histograms[series]
+	if !ok || math.IsNaN(float64(h.P95)) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fms", float64(h.P95)*1000)
+}

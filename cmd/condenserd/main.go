@@ -13,10 +13,11 @@
 //	condenserd -addr :8080 -dim 7 -trace-sample 100 -trace-out trace.json
 //
 // Endpoints: POST /v1/records, GET /v1/snapshot, GET /v1/stats,
-// GET /v1/audit, GET /v1/checkpoint, GET /healthz, GET /metrics,
-// GET /debug/vars, GET /debug/trace (see internal/server). With
-// -debug-addr set, net/http/pprof profiling endpoints are served on that
-// separate (ideally loopback-only) address.
+// GET /v1/audit, GET /v1/checkpoint, GET /v1/history,
+// GET /v1/health/rules, GET /healthz, GET /metrics, GET /debug/vars,
+// GET /debug/trace (see internal/server). With -debug-addr set,
+// net/http/pprof profiling endpoints are served on that separate (ideally
+// loopback-only) address.
 //
 // A background auditor recomputes the privacy-audit report (group-size
 // invariant, SSE ratio, KS distances — see internal/audit) every
@@ -25,10 +26,22 @@
 // exported live on /debug/trace and written as a Chrome trace-event file
 // to -trace-out on shutdown (SIGINT/SIGTERM shut the server down
 // gracefully).
+//
+// A flight recorder scrapes the metrics registry every -scrape-every
+// (default 10s) on its own goroutine, keeping the last -history windows
+// of counter deltas, gauge values, and windowed latency quantiles in a
+// ring served from /v1/history. After each scrape a health watchdog
+// evaluates trend rules (k-violations, KS drift, SSE degradation, ingest
+// latency regression, shard imbalance) and drives /healthz and
+// /v1/health/rules through ok → degraded → failing, logging every
+// transition and counting escalations in condense_alerts_total{rule}. On
+// shutdown, -history-out writes the buffered windows plus final rule
+// states and a closing audit as JSON.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"condensation/internal/audit"
 	"condensation/internal/core"
 	"condensation/internal/server"
 	"condensation/internal/telemetry"
@@ -98,6 +112,9 @@ func run(args []string, stderr io.Writer, serve func(ctx context.Context, addr s
 		traceSample = fs.Int("trace-sample", 0, "record a span tree for 1 in N requests (0 disables tracing)")
 		traceBuffer = fs.Int("trace-buffer", 0, "completed spans kept in the trace ring (0 = default)")
 		traceOut    = fs.String("trace-out", "", "write the recorded spans as a Chrome trace-event file on shutdown (implies -trace-sample 1 if unset)")
+		scrapeEvery = fs.Duration("scrape-every", 10*time.Second, "flight-recorder scrape cadence (0 disables the recorder, the health watchdog, /v1/history, and /v1/health/rules)")
+		historyCap  = fs.Int("history", 0, "flight-recorder ring capacity in windows (0 = default 360)")
+		historyOut  = fs.String("history-out", "", "write the recorded windows, health-rule states, and a final audit as JSON on shutdown (re-enables the default -scrape-every if it was 0)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -119,12 +136,24 @@ func run(args []string, stderr io.Writer, serve func(ctx context.Context, addr s
 	if *shards < 1 {
 		return fmt.Errorf("-shards must be ≥ 1, got %d", *shards)
 	}
+	if *historyOut != "" && *scrapeEvery <= 0 {
+		// Asking for a history file means asking for scrapes.
+		*scrapeEvery = 10 * time.Second
+	}
+	var rec *telemetry.Recorder
+	var wd *telemetry.Watchdog
+	if *scrapeEvery > 0 {
+		rec = telemetry.NewRecorder(reg, *historyCap)
+		wd = telemetry.NewWatchdog(reg, log, server.HealthRules(*shards)...)
+	}
 	cfg := server.Config{
 		Dim: *dim, Shards: *shards, MaxBatch: *batch,
 		Telemetry: reg, Logger: log,
 		Tracer:      tracer,
 		AuditSample: *auditSample,
 		AuditSeed:   *seed,
+		Recorder:    rec,
+		Watchdog:    wd,
 	}
 	condenserK, condenserOpts := *k, core.Options{}
 	if *resume != "" {
@@ -182,20 +211,42 @@ func run(args []string, stderr io.Writer, serve func(ctx context.Context, addr s
 	defer stop()
 
 	var wg sync.WaitGroup
-	auditCtx, cancelAudit := context.WithCancel(ctx)
+	bgCtx, cancelBG := context.WithCancel(ctx)
 	if *auditEvery > 0 {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			auditLoop(auditCtx, s, *auditEvery, log)
+			auditLoop(bgCtx, s, *auditEvery, log)
+		}()
+	}
+	if rec != nil {
+		// The scraper goroutine owns every scrape: the ingest path never
+		// pays for recording, and the watchdog re-evaluates right after
+		// each window lands.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec.Run(bgCtx, *scrapeEvery, func(telemetry.Window) { wd.Evaluate(rec) })
 		}()
 	}
 
 	log.Info("condenserd listening", slog.String("addr", *addr))
 	serveErr := serve(ctx, *addr, s)
-	cancelAudit()
+	cancelBG()
 	wg.Wait()
 
+	if *historyOut != "" && rec != nil {
+		if err := writeHistory(*historyOut, s, rec, wd, log); err != nil {
+			log.Error("writing history file", slog.String("error", err.Error()))
+			if serveErr == nil {
+				serveErr = err
+			}
+		} else {
+			log.Info("wrote history file",
+				slog.String("file", *historyOut),
+				slog.Int("windows", rec.Len()))
+		}
+	}
 	if *traceOut != "" && tracer != nil {
 		if err := writeTrace(*traceOut, tracer); err != nil {
 			log.Error("writing trace file", slog.String("error", err.Error()))
@@ -237,6 +288,49 @@ func auditLoop(ctx context.Context, s *server.Server, every time.Duration, log *
 				slog.Int("degenerate_groups", rep.DegenerateGroups))
 		}
 	}
+}
+
+// historyDump is the -history-out file layout: the buffered windows, the
+// watchdog's final rule states, and one last audit report — the black box
+// a post-mortem opens after SIGTERM.
+type historyDump struct {
+	Status  string                 `json:"status"`
+	Rules   []telemetry.RuleStatus `json:"rules,omitempty"`
+	Audit   *audit.Report          `json:"audit,omitempty"`
+	Windows []telemetry.Window     `json:"windows"`
+}
+
+// writeHistory takes one final scrape (so the file covers work done after
+// the last ticker fire), re-evaluates the watchdog, runs a closing audit,
+// and dumps everything to path as JSON. Audit failures (e.g. an empty
+// condensation) degrade to an audit-less file rather than losing the
+// windows.
+func writeHistory(path string, s *server.Server, rec *telemetry.Recorder, wd *telemetry.Watchdog, log *slog.Logger) error {
+	rep, err := s.Audit()
+	if err != nil {
+		log.Warn("final audit failed", slog.String("error", err.Error()))
+		rep = nil
+	}
+	rec.Scrape()
+	wd.Evaluate(rec)
+	overall, rules := wd.Status()
+	dump := historyDump{
+		Status:  overall.String(),
+		Rules:   rules,
+		Audit:   rep,
+		Windows: rec.Windows(0),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(dump); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeTrace dumps every span still in the tracer's ring to path as a

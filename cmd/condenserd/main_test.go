@@ -367,3 +367,150 @@ func TestRunShards(t *testing.T) {
 		t.Error("-shards 0 accepted")
 	}
 }
+
+// TestRunScraper: the background scraper fills /v1/history, the watchdog
+// serves /v1/health/rules, and -scrape-every 0 turns both off.
+func TestRunScraper(t *testing.T) {
+	err := serveWith(t, []string{"-dim", "2", "-k", "4", "-log-level", "off",
+		"-audit-every", "0", "-scrape-every", "20ms"},
+		func(ts *httptest.Server) {
+			resp, err := http.Post(ts.URL+"/v1/records", "application/json",
+				bytes.NewReader([]byte(`{"records":[[1,2],[3,4],[5,6],[7,8],[2,1],[4,3],[6,5],[8,7]]}`)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				resp, err := http.Get(ts.URL + "/v1/history")
+				if err != nil {
+					t.Fatal(err)
+				}
+				var hist struct {
+					Windows []struct {
+						Seq uint64 `json:"seq"`
+					} `json:"windows"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&hist)
+				resp.Body.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(hist.Windows) >= 2 {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("scraper never recorded two windows")
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			resp, err = http.Get(ts.URL + "/v1/health/rules")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rules struct {
+				Status string `json:"status"`
+				Rules  []struct {
+					Name string `json:"name"`
+				} `json:"rules"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&rules)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rules.Status != "ok" || len(rules.Rules) == 0 {
+				t.Errorf("health rules = %q with %d rules, want ok with rules", rules.Status, len(rules.Rules))
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// -scrape-every 0: both endpoints are 404, /healthz still ok.
+	err = serveWith(t, []string{"-dim", "2", "-k", "4", "-log-level", "off",
+		"-audit-every", "0", "-scrape-every", "0"},
+		func(ts *httptest.Server) {
+			for _, path := range []string{"/v1/history", "/v1/health/rules"} {
+				resp, err := http.Get(ts.URL + path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusNotFound {
+					t.Errorf("GET %s with scraping off = %d, want 404", path, resp.StatusCode)
+				}
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunHistoryOut: graceful shutdown flushes the windows, rule states,
+// and a final audit to the -history-out file.
+func TestRunHistoryOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.json")
+	err := serveWith(t, []string{"-dim", "2", "-k", "3", "-log-level", "off",
+		"-audit-every", "0", "-scrape-every", "20ms", "-history-out", path},
+		func(ts *httptest.Server) {
+			resp, err := http.Post(ts.URL+"/v1/records", "application/json",
+				bytes.NewReader([]byte(`{"records":[[1,2],[3,4],[5,6],[7,8]]}`)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			time.Sleep(50 * time.Millisecond)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("history file not written: %v", err)
+	}
+	var doc struct {
+		Status string `json:"status"`
+		Rules  []struct {
+			Name string `json:"name"`
+		} `json:"rules"`
+		Audit *struct {
+			Records int `json:"records"`
+		} `json:"audit"`
+		Windows []struct {
+			Seq uint64 `json:"seq"`
+		} `json:"windows"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("history file not valid JSON: %v", err)
+	}
+	if doc.Status != "ok" || len(doc.Rules) == 0 {
+		t.Errorf("history file status = %q with %d rules, want ok with rules", doc.Status, len(doc.Rules))
+	}
+	if doc.Audit == nil || doc.Audit.Records != 4 {
+		t.Errorf("history file audit = %+v, want a final audit over 4 records", doc.Audit)
+	}
+	if len(doc.Windows) == 0 {
+		t.Error("history file has no windows (final flush scrape missing)")
+	}
+	// -history-out alone re-enables scraping.
+	path2 := filepath.Join(t.TempDir(), "history2.json")
+	err = serveWith(t, []string{"-dim", "2", "-k", "3", "-log-level", "off",
+		"-audit-every", "0", "-scrape-every", "0", "-history-out", path2},
+		func(ts *httptest.Server) {
+			resp, err := http.Get(ts.URL + "/v1/history")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("/v1/history with -history-out = %d, want 200", resp.StatusCode)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path2); err != nil {
+		t.Errorf("history file not written when -history-out implied scraping: %v", err)
+	}
+}

@@ -365,3 +365,23 @@ func (r *Report) Publish(reg *telemetry.Registry) {
 		}
 	}
 }
+
+// PublishShard exports one shard's slice of the report under shard="i"
+// labels — the per-shard view the watchdog's imbalance rules and
+// dashboards drill into when the merged gauges start moving. Only the
+// privacy-critical subset is republished (k-minimum, leftover ratio,
+// group/record counts, k-violation counter); distribution histograms and
+// KS stay merged-only, matching how PR 6 labels engine series. Callers
+// gate on NumShards ≥ 2 so single-shard deployments keep the exact
+// unlabeled series set. A nil registry is a no-op.
+func (r *Report) PublishShard(reg *telemetry.Registry, shard int) {
+	if reg == nil || r == nil {
+		return
+	}
+	s := fmt.Sprint(shard)
+	reg.Counter(MetricKViolations, "shard", s).Add(r.KViolations)
+	reg.Gauge(MetricGroups, "shard", s).Set(float64(r.Groups))
+	reg.Gauge(MetricRecords, "shard", s).Set(float64(r.Records))
+	reg.Gauge(MetricMinGroupSize, "shard", s).Set(float64(r.MinGroupSize))
+	reg.Gauge(MetricLeftoverRatio, "shard", s).Set(r.LeftoverRatio)
+}

@@ -319,3 +319,49 @@ func TestReservoirUniform(t *testing.T) {
 		}
 	}
 }
+
+func TestPublishShard(t *testing.T) {
+	src := rng.New(9)
+	records := cluster(src, 40, 2, 0, 2)
+	cond := staticCondensation(t, records, 5)
+	rep, err := Compute(cond, Config{SynthSeed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.NewRegistry()
+	rep.PublishShard(reg, 3)
+	if got := reg.Gauge(MetricGroups, "shard", "3").Value(); got != float64(rep.Groups) {
+		t.Errorf("shard groups gauge = %v, want %d", got, rep.Groups)
+	}
+	if got := reg.Gauge(MetricRecords, "shard", "3").Value(); got != float64(rep.Records) {
+		t.Errorf("shard records gauge = %v, want %d", got, rep.Records)
+	}
+	if got := reg.Gauge(MetricMinGroupSize, "shard", "3").Value(); got != float64(rep.MinGroupSize) {
+		t.Errorf("shard min-group gauge = %v, want %d", got, rep.MinGroupSize)
+	}
+	if got := reg.Gauge(MetricLeftoverRatio, "shard", "3").Value(); got != rep.LeftoverRatio {
+		t.Errorf("shard leftover gauge = %v, want %v", got, rep.LeftoverRatio)
+	}
+	if got := reg.Counter(MetricKViolations, "shard", "3").Value(); got != uint64(rep.KViolations) {
+		t.Errorf("shard k-violations counter = %d, want %d", got, rep.KViolations)
+	}
+
+	// The per-shard series must not collide with (or overwrite) the merged
+	// unlabeled series.
+	rep.Publish(reg)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), MetricGroups+`{shard="3"}`) {
+		t.Errorf("exposition missing labeled shard series:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), MetricGroups+" ") {
+		t.Errorf("exposition missing merged unlabeled series")
+	}
+
+	// Nil registry and nil report are no-ops.
+	rep.PublishShard(nil, 0)
+	(*Report)(nil).PublishShard(reg, 0)
+}

@@ -168,6 +168,14 @@ func (d *Dynamic) Shard(i int) *Condensation {
 	return d.Condensation()
 }
 
+// ShardCounts returns the live counts of shard i; only shard 0 exists.
+func (d *Dynamic) ShardCounts(i int) (records, groups, splits int) {
+	if i != 0 {
+		panic(fmt.Sprintf("core: shard %d out of range on a single-shard engine", i))
+	}
+	return d.total, len(d.groups), d.splits
+}
+
 // Synchronized reports false: Dynamic performs no locking of its own, so
 // callers sharing it across goroutines must serialize access themselves.
 func (d *Dynamic) Synchronized() bool { return false }

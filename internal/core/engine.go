@@ -61,6 +61,10 @@ type Engine interface {
 	// Condensation(). It panics when i is out of range — shard indices
 	// come from NumShards, not from untrusted input.
 	Shard(i int) *Condensation
+	// ShardCounts returns one shard's live record/group/split counts
+	// without materializing its groups — cheap enough for periodic
+	// scraping. Like Shard, it panics when i is out of range.
+	ShardCounts(i int) (records, groups, splits int)
 
 	// Synchronized reports whether the engine performs its own locking.
 	// Callers serving a non-synchronized engine to concurrent clients

@@ -414,6 +414,17 @@ func (s *Sharded) Shard(i int) *Condensation {
 	return cond
 }
 
+// ShardCounts returns shard i's live record/group/split counts under its
+// read lock, without materializing groups — the accessor periodic load
+// scrapes use.
+func (s *Sharded) ShardCounts(i int) (records, groups, splits int) {
+	sh := s.shards[i]
+	sh.mu.RLock()
+	records, groups, splits = sh.dyn.TotalCount(), sh.dyn.NumGroups(), sh.dyn.Splits()
+	sh.mu.RUnlock()
+	return records, groups, splits
+}
+
 // SetTelemetry attaches a metrics registry. With more than one shard,
 // every engine series carries a shard="i" label so per-shard ingest
 // rates, group counts, and split events are separable; a single-shard

@@ -396,3 +396,65 @@ func TestDynamicTotalCountCached(t *testing.T) {
 		t.Fatalf("seeded: TotalCount = %d, groups hold %d, want 90", got, want)
 	}
 }
+
+// TestShardCounts: the cheap per-shard accessor must agree with the full
+// snapshots on both engine shapes, and its totals with the engine-wide
+// counts.
+func TestShardCounts(t *testing.T) {
+	const k, dim, shards = 5, 3, 4
+	stream := gaussianRecords(13, 900, dim)
+
+	c, err := NewCondenser(k, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Sharded(dim, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddBatch(stream); err != nil {
+		t.Fatal(err)
+	}
+	var records, groups, splits int
+	for i := 0; i < shards; i++ {
+		r, g, sp := s.ShardCounts(i)
+		cond := s.Shard(i)
+		if r != cond.TotalCount() || g != cond.NumGroups() {
+			t.Errorf("shard %d counts = (%d,%d), snapshot says (%d,%d)",
+				i, r, g, cond.TotalCount(), cond.NumGroups())
+		}
+		records += r
+		groups += g
+		splits += sp
+	}
+	if records != s.TotalCount() || groups != s.NumGroups() || splits != s.Splits() {
+		t.Errorf("summed shard counts = (%d,%d,%d), engine says (%d,%d,%d)",
+			records, groups, splits, s.TotalCount(), s.NumGroups(), s.Splits())
+	}
+
+	d, err := c.Dynamic(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddAll(stream[:100]); err != nil {
+		t.Fatal(err)
+	}
+	r, g, sp := d.ShardCounts(0)
+	if r != d.TotalCount() || g != d.NumGroups() || sp != d.Splits() {
+		t.Errorf("dynamic ShardCounts = (%d,%d,%d), want (%d,%d,%d)",
+			r, g, sp, d.TotalCount(), d.NumGroups(), d.Splits())
+	}
+	for name, f := range map[string]func(){
+		"dynamic": func() { d.ShardCounts(1) },
+		"sharded": func() { s.ShardCounts(shards) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: out-of-range ShardCounts did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

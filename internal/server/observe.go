@@ -1,0 +1,179 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"condensation/internal/audit"
+	"condensation/internal/telemetry"
+)
+
+// Observability metric names owned by the server: build identity, uptime,
+// and the per-shard load family the watchdog's imbalance rule watches.
+const (
+	// MetricBuildInfo is a constant-1 gauge whose labels carry the build
+	// identity (go version, VCS revision, shard count) — the Prometheus
+	// idiom for joining dashboards on "which binary is this".
+	MetricBuildInfo = "condense_build_info"
+	// MetricUptime is the seconds since the server was constructed,
+	// refreshed at every metrics read and recorder scrape.
+	MetricUptime = "condense_uptime_seconds"
+	// MetricShardRecords/Groups/Splits are per-shard live counts under
+	// shard="i" labels, published only at NumShards ≥ 2 (matching the
+	// engine's labeling convention) and refreshed by the collector.
+	MetricShardRecords = "condense_shard_records"
+	MetricShardGroups  = "condense_shard_groups"
+	MetricShardSplits  = "condense_shard_splits"
+	// MetricShardImbalance is max/mean of per-shard record counts — 1.0 is
+	// perfectly balanced, N means one shard carries everything.
+	MetricShardImbalance = "condense_shard_imbalance_ratio"
+)
+
+// initObservability resolves the build-info, uptime, and per-shard load
+// gauges once at construction (so the series exist before the first
+// scrape) and hooks the server's collector into the flight recorder.
+func (s *Server) initObservability() {
+	rev := s.buildRevision
+	if rev == "" {
+		rev = "unknown"
+	}
+	s.reg.Gauge(MetricBuildInfo,
+		"go_version", runtime.Version(),
+		"vcs_revision", rev,
+		"shards", strconv.Itoa(s.eng.NumShards()),
+	).Set(1)
+	s.uptime = s.reg.Gauge(MetricUptime)
+	if n := s.eng.NumShards(); n >= 2 {
+		s.shardRecords = make([]*telemetry.Gauge, n)
+		s.shardGroups = make([]*telemetry.Gauge, n)
+		s.shardSplits = make([]*telemetry.Gauge, n)
+		for i := 0; i < n; i++ {
+			label := strconv.Itoa(i)
+			s.shardRecords[i] = s.reg.Gauge(MetricShardRecords, "shard", label)
+			s.shardGroups[i] = s.reg.Gauge(MetricShardGroups, "shard", label)
+			s.shardSplits[i] = s.reg.Gauge(MetricShardSplits, "shard", label)
+		}
+		s.imbalance = s.reg.Gauge(MetricShardImbalance)
+	}
+	s.collect()
+	s.rec.AddCollector(s.collect)
+}
+
+// collect refreshes the derived gauges — uptime and, on a sharded engine,
+// the per-shard load family plus the max/mean imbalance ratio. It runs at
+// every recorder scrape (on the scraper goroutine) and at every direct
+// /metrics and /debug/vars read, never on the ingest path.
+func (s *Server) collect() {
+	s.uptime.Set(s.uptimeSeconds())
+	if s.shardRecords == nil {
+		return
+	}
+	var total, max float64
+	for i := range s.shardRecords {
+		records, groups, splits := s.eng.ShardCounts(i)
+		r := float64(records)
+		s.shardRecords[i].Set(r)
+		s.shardGroups[i].Set(float64(groups))
+		s.shardSplits[i].Set(float64(splits))
+		total += r
+		if r > max {
+			max = r
+		}
+	}
+	ratio := 0.0
+	if total > 0 {
+		ratio = max / (total / float64(len(s.shardRecords)))
+	}
+	s.imbalance.Set(ratio)
+}
+
+// HealthRules is the standard watchdog rule set for a condensation server
+// with the given shard count — the rules condenserd installs. Thresholds
+// are intentionally generous: the watchdog is a trend detector for silent
+// privacy/performance erosion, not a latency SLO enforcer.
+func HealthRules(shards int) []telemetry.Rule {
+	rules := []telemetry.Rule{
+		telemetry.CounterNonzeroRule("k_violations", audit.MetricKViolations,
+			"any audited group below k records breaks the paper's indistinguishability contract"),
+		telemetry.TrendRule("ks_drift", audit.MetricKSMean, 12, 0.10, 0.05,
+			"mean marginal KS distance between original and synthesized data trending up — stream drift the condensation is not absorbing"),
+		telemetry.TrendRule("sse_degradation", audit.MetricSSERatio, 12, 0.15, 0.02,
+			"within-group SSE over total SSE trending up — groups are getting looser, eroding utility"),
+		telemetry.LatencyRegressionRule("ingest_latency",
+			`http_request_seconds{path="/v1/records"}`, 4,
+			"windowed ingest p95 regressed vs the startup baseline in two consecutive trafficked windows"),
+	}
+	if shards >= 2 {
+		rules = append(rules, telemetry.ImbalanceRule("shard_imbalance",
+			MetricShardRecords, 2, 4, 1000,
+			"max/mean of per-shard record counts — a hot shard serializes what sharding was meant to parallelize"))
+	}
+	return rules
+}
+
+// historyResponse is the GET /v1/history body: recorded windows oldest
+// first, plus the ring geometry so clients know the retention horizon.
+type historyResponse struct {
+	Capacity int                `json:"capacity"`
+	Recorded uint64             `json:"recorded"`
+	Windows  []telemetry.Window `json:"windows"`
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	if s.rec == nil {
+		writeError(w, http.StatusNotFound,
+			errors.New("flight recorder not enabled (start with -scrape-every > 0)"))
+		return
+	}
+	last := 0
+	if q := r.URL.Query().Get("last"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad last %q", q))
+			return
+		}
+		last = v
+	}
+	windows := s.rec.Windows(last)
+	if q := r.URL.Query().Get("series"); q != "" {
+		selectors := strings.Split(q, ",")
+		for i, win := range windows {
+			windows[i] = telemetry.FilterWindow(win, selectors)
+		}
+	}
+	writeJSON(w, http.StatusOK, historyResponse{
+		Capacity: s.rec.Capacity(),
+		Recorded: s.rec.Seq(),
+		Windows:  windows,
+	})
+}
+
+// healthRulesResponse is the GET /v1/health/rules body.
+type healthRulesResponse struct {
+	Status string                 `json:"status"`
+	Rules  []telemetry.RuleStatus `json:"rules"`
+}
+
+func (s *Server) handleHealthRules(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	if s.wd == nil {
+		writeError(w, http.StatusNotFound,
+			errors.New("health watchdog not enabled (start with -scrape-every > 0)"))
+		return
+	}
+	overall, rules := s.wd.Status()
+	writeJSON(w, http.StatusOK, healthRulesResponse{Status: overall.String(), Rules: rules})
+}

@@ -1,0 +1,374 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"condensation/internal/audit"
+	"condensation/internal/core"
+	"condensation/internal/telemetry"
+)
+
+// observed bundles the pieces an observability test drives directly.
+type observed struct {
+	ts  *httptest.Server
+	s   *Server
+	reg *telemetry.Registry
+	rec *telemetry.Recorder
+	wd  *telemetry.Watchdog
+	log *bytes.Buffer
+}
+
+// newObservedServer builds a server with the full observability stack
+// attached: registry, flight recorder, and a watchdog running the
+// standard rule set for the shard count. The scrape loop is NOT started —
+// tests call rec.Scrape/wd.Evaluate themselves to drive windows
+// deterministically.
+func newObservedServer(t *testing.T, shards int) observed {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	rec := telemetry.NewRecorder(reg, 64)
+	var logbuf bytes.Buffer
+	logger, err := telemetry.NewLogger(&logbuf, "info", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd := telemetry.NewWatchdog(reg, logger, HealthRules(shards)...)
+	condenser, err := core.NewCondenser(5, core.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Dim: 2, Condenser: condenser, Shards: shards,
+		Telemetry: reg, Recorder: rec, Watchdog: wd,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	testServers[ts.URL] = s
+	t.Cleanup(func() {
+		delete(testServers, ts.URL)
+		ts.Close()
+	})
+	return observed{ts: ts, s: s, reg: reg, rec: rec, wd: wd, log: &logbuf}
+}
+
+// historyBody mirrors the /v1/history response.
+type historyBody struct {
+	Capacity int                `json:"capacity"`
+	Recorded uint64             `json:"recorded"`
+	Windows  []telemetry.Window `json:"windows"`
+}
+
+// rulesBody mirrors the /v1/health/rules response.
+type rulesBody struct {
+	Status string                 `json:"status"`
+	Rules  []telemetry.RuleStatus `json:"rules"`
+}
+
+func TestHistoryEndpoint(t *testing.T) {
+	o := newObservedServer(t, 1)
+	postRecords(t, o.ts, genRecords(1, 100))
+	for i := 0; i < 3; i++ {
+		o.rec.Scrape()
+	}
+
+	var hist historyBody
+	if resp := getJSON(t, o.ts.URL+"/v1/history", &hist); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/history = %d", resp.StatusCode)
+	}
+	if len(hist.Windows) != 3 || hist.Recorded != 3 || hist.Capacity != 64 {
+		t.Fatalf("history = %d windows, recorded %d, capacity %d; want 3/3/64",
+			len(hist.Windows), hist.Recorded, hist.Capacity)
+	}
+	w := hist.Windows[0]
+	if w.Counters[`http_requests_total{path="/v1/records",code="2xx"}`].Value != 1 {
+		t.Errorf("first window is missing the ingest request count: %v", w.Counters)
+	}
+	if _, ok := w.Histograms[`http_request_seconds{path="/v1/records"}`]; !ok {
+		t.Errorf("first window is missing the ingest latency histogram")
+	}
+
+	// ?last trims, ?series filters down to the selected families.
+	var trimmed historyBody
+	getJSON(t, o.ts.URL+"/v1/history?last=2&series=condense_groups", &trimmed)
+	if len(trimmed.Windows) != 2 {
+		t.Fatalf("last=2 returned %d windows", len(trimmed.Windows))
+	}
+	for _, w := range trimmed.Windows {
+		if len(w.Counters) != 0 || len(w.Histograms) != 0 {
+			t.Errorf("series filter leaked other families: %v %v", w.Counters, w.Histograms)
+		}
+		if _, ok := w.Gauges["condense_groups"]; !ok {
+			t.Errorf("series filter dropped the requested gauge: %v", w.Gauges)
+		}
+	}
+
+	if resp := getJSON(t, o.ts.URL+"/v1/history?last=x", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad last = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestObservabilityDisabled: without a recorder/watchdog the new
+// endpoints 404 (like /debug/trace without a tracer) and /healthz still
+// answers ok.
+func TestObservabilityDisabled(t *testing.T) {
+	ts := newTestServer(t, 5)
+	for _, path := range []string{"/v1/history", "/v1/health/rules"} {
+		if resp := getJSON(t, ts.URL+path, nil); resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s without recorder = %d, want 404", path, resp.StatusCode)
+		}
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if resp := getJSON(t, ts.URL+"/healthz", &health); resp.StatusCode != http.StatusOK || health.Status != "ok" {
+		t.Errorf("healthz without watchdog = %d %q, want 200 ok", resp.StatusCode, health.Status)
+	}
+}
+
+// TestWatchdogDriftScenario is the acceptance scenario: injected audit
+// moments drive the ks_drift rule ok → degraded and back, and the
+// transition is visible in /healthz, /v1/health/rules,
+// condense_alerts_total, and the structured log.
+func TestWatchdogDriftScenario(t *testing.T) {
+	o := newObservedServer(t, 1)
+	ks := o.reg.Gauge(audit.MetricKSMean)
+
+	step := func(v float64, n int) {
+		for i := 0; i < n; i++ {
+			ks.Set(v)
+			o.rec.Scrape()
+			o.wd.Evaluate(o.rec)
+		}
+	}
+
+	healthStatus := func() (int, string) {
+		var h struct {
+			Status string `json:"status"`
+		}
+		resp := getJSON(t, o.ts.URL+"/healthz", &h)
+		return resp.StatusCode, h.Status
+	}
+
+	// Stable baseline: a healthy KS mean, all rules ok.
+	step(0.02, 6)
+	if code, status := healthStatus(); code != http.StatusOK || status != "ok" {
+		t.Fatalf("baseline healthz = %d %q, want 200 ok", code, status)
+	}
+
+	// Synthetic drift: the KS mean rises past the trend threshold.
+	step(0.17, 6)
+	if code, status := healthStatus(); code != http.StatusOK || status != "degraded" {
+		t.Fatalf("drifted healthz = %d %q, want 200 degraded", code, status)
+	}
+	var rules rulesBody
+	getJSON(t, o.ts.URL+"/v1/health/rules", &rules)
+	if rules.Status != "degraded" {
+		t.Errorf("rules status = %q, want degraded", rules.Status)
+	}
+	found := false
+	for _, r := range rules.Rules {
+		if r.Name == "ks_drift" {
+			found = true
+			if r.State.String() != "degraded" || r.Alerts != 1 || r.Transitions != 1 {
+				t.Errorf("ks_drift status = %+v, want degraded with 1 alert", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("ks_drift rule missing from %v", rules.Rules)
+	}
+	metrics := getBody(t, o.ts.URL+"/metrics")
+	if !strings.Contains(metrics, `condense_alerts_total{rule="ks_drift"} 1`) {
+		t.Errorf("metrics missing the ks_drift alert count")
+	}
+	if !strings.Contains(metrics, "condense_health_state 1") {
+		t.Errorf("metrics missing the degraded health-state gauge")
+	}
+	logged := o.log.String()
+	if !strings.Contains(logged, "health rule transition") ||
+		!strings.Contains(logged, "rule=ks_drift") ||
+		!strings.Contains(logged, "to=degraded") {
+		t.Errorf("transition not in the structured log: %q", logged)
+	}
+
+	// The stream settles at the new level: the trend flattens and the rule
+	// recovers, but the alert stays counted.
+	step(0.17, 12)
+	if code, status := healthStatus(); code != http.StatusOK || status != "ok" {
+		t.Fatalf("recovered healthz = %d %q, want 200 ok", code, status)
+	}
+	if !strings.Contains(o.log.String(), "to=ok") {
+		t.Errorf("recovery transition not logged")
+	}
+	metrics = getBody(t, o.ts.URL+"/metrics")
+	if !strings.Contains(metrics, `condense_alerts_total{rule="ks_drift"} 1`) {
+		t.Errorf("alert counter lost on recovery")
+	}
+}
+
+// TestShardObservability: a shards=4 server populates the per-shard load
+// gauges, the imbalance ratio, and (after an audit) the per-shard audit
+// gauges, and the windows carry the family for the imbalance rule.
+func TestShardObservability(t *testing.T) {
+	o := newObservedServer(t, 4)
+	postRecords(t, o.ts, genRecords(7, 400))
+	o.rec.Scrape()
+	o.wd.Evaluate(o.rec)
+	if _, err := o.s.Audit(); err != nil {
+		t.Fatal(err)
+	}
+
+	metrics := getBody(t, o.ts.URL+"/metrics")
+	var perShard int
+	for i := 0; i < 4; i++ {
+		if strings.Contains(metrics, fmt.Sprintf(`condense_shard_records{shard="%d"}`, i)) {
+			perShard++
+		}
+	}
+	if perShard != 4 {
+		t.Errorf("found %d/4 condense_shard_records series", perShard)
+	}
+	if !strings.Contains(metrics, "condense_shard_imbalance_ratio") {
+		t.Errorf("metrics missing the imbalance ratio gauge")
+	}
+	for _, name := range []string{
+		`condense_audit_records{shard="0"}`,
+		`condense_audit_min_group_size{shard="3"}`,
+		`condense_audit_leftover_ratio{shard="1"}`,
+	} {
+		if !strings.Contains(metrics, name) {
+			t.Errorf("metrics missing per-shard audit series %s", name)
+		}
+	}
+
+	// The recorded window carries the family the imbalance rule reads.
+	w, ok := o.rec.LastWindow()
+	if !ok {
+		t.Fatal("no window recorded")
+	}
+	var total float64
+	for i := 0; i < 4; i++ {
+		v, ok := w.Gauges[fmt.Sprintf(`condense_shard_records{shard="%d"}`, i)]
+		if !ok {
+			t.Fatalf("window missing shard %d records gauge", i)
+		}
+		total += float64(v)
+	}
+	if total != 400 {
+		t.Errorf("per-shard records sum to %g, want 400", total)
+	}
+
+	// The standard rule set includes shard_imbalance only when sharded.
+	var rules rulesBody
+	getJSON(t, o.ts.URL+"/v1/health/rules", &rules)
+	hasImbalance := func(rs []telemetry.RuleStatus) bool {
+		for _, r := range rs {
+			if r.Name == "shard_imbalance" {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasImbalance(rules.Rules) {
+		t.Errorf("sharded rule set missing shard_imbalance: %v", rules.Rules)
+	}
+	single := newObservedServer(t, 1)
+	var singleRules rulesBody
+	getJSON(t, single.ts.URL+"/v1/health/rules", &singleRules)
+	if hasImbalance(singleRules.Rules) {
+		t.Errorf("single-shard rule set includes shard_imbalance")
+	}
+}
+
+func TestBuildInfoMetrics(t *testing.T) {
+	o := newObservedServer(t, 2)
+	metrics := getBody(t, o.ts.URL+"/metrics")
+	if !strings.Contains(metrics, `condense_build_info{go_version="go`) ||
+		!strings.Contains(metrics, `shards="2"`) {
+		t.Errorf("metrics missing condense_build_info with go version and shard labels:\n%s",
+			firstLines(metrics, 30))
+	}
+	if !strings.Contains(metrics, "condense_uptime_seconds") {
+		t.Errorf("metrics missing condense_uptime_seconds")
+	}
+	var vars map[string]interface{}
+	getJSON(t, o.ts.URL+"/debug/vars", &vars)
+	up, ok := vars["condense_uptime_seconds"].(float64)
+	if !ok || up < 0 {
+		t.Errorf("debug/vars uptime = %v, want a non-negative number", vars["condense_uptime_seconds"])
+	}
+}
+
+// TestObserveOnlyCheckpoint: an aggressively scraped server must produce
+// a byte-identical checkpoint to an unobserved one over the same stream —
+// the recorder and watchdog are observe-only.
+func TestObserveOnlyCheckpoint(t *testing.T) {
+	records := genRecords(3, 600)
+
+	plain := newTestServer(t, 5)
+	postRecords(t, plain, records)
+
+	o := newObservedServer(t, 1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				o.rec.Scrape()
+				o.wd.Evaluate(o.rec)
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	// Ingest in small batches so scrapes interleave with live ingestion.
+	for lo := 0; lo < len(records); lo += 50 {
+		postRecords(t, o.ts, records[lo:lo+50])
+	}
+	close(stop)
+	wg.Wait()
+
+	a := getBody(t, plain.URL+"/v1/checkpoint")
+	b := getBody(t, o.ts.URL+"/v1/checkpoint")
+	if a != b {
+		t.Fatalf("checkpoint bytes differ with the recorder enabled (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// getBody fetches a URL and returns the body as a string.
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// firstLines truncates s to its first n lines for readable failures.
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

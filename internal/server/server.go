@@ -12,7 +12,9 @@
 //	GET  /v1/stats                                    condensation statistics + audit
 //	GET  /v1/audit                                    anonymization-quality report
 //	GET  /v1/checkpoint                               binary condensation state (octet-stream)
-//	GET  /healthz                                     build info, uptime, live counts
+//	GET  /v1/history    ?last=N&series=a,b            flight-recorder windows (when recording on)
+//	GET  /v1/health/rules                             watchdog rule states (when watchdog on)
+//	GET  /healthz                                     build info, uptime, live counts, health state
 //	GET  /metrics                                     Prometheus text exposition
 //	GET  /debug/vars                                  expvar-style JSON metrics
 //	GET  /debug/trace   ?last=N                       Chrome trace-event JSON (when tracing on)
@@ -102,6 +104,17 @@ type Config struct {
 	// AuditSeed seeds the audit's private synthesis draw and the reservoir
 	// sampler (default 1). Independent of the engine's seed.
 	AuditSeed uint64
+	// Recorder optionally attaches a flight recorder (built over the same
+	// registry as Telemetry). The server serves its windows from
+	// /v1/history and registers a collector refreshing uptime and per-shard
+	// load gauges at each scrape; the caller owns the scrape loop. Nil
+	// disables the endpoint (404), like a nil Tracer does /debug/trace.
+	Recorder *telemetry.Recorder
+	// Watchdog optionally attaches a health watchdog (evaluated by the
+	// caller's scrape loop). The server serves its rule states from
+	// /v1/health/rules and folds its overall severity into /healthz. Nil
+	// disables the endpoint and leaves /healthz always "ok".
+	Watchdog *telemetry.Watchdog
 }
 
 // defaultAuditSample is the reservoir capacity when Config.AuditSample is 0.
@@ -127,6 +140,16 @@ type Server struct {
 	start    time.Time
 	inFlight *telemetry.Gauge
 	tr       *telemetry.Tracer
+	rec      *telemetry.Recorder
+	wd       *telemetry.Watchdog
+
+	// Derived gauges refreshed by collect(): uptime always; the per-shard
+	// load family and imbalance ratio only at NumShards ≥ 2.
+	uptime       *telemetry.Gauge
+	shardRecords []*telemetry.Gauge
+	shardGroups  []*telemetry.Gauge
+	shardSplits  []*telemetry.Gauge
+	imbalance    *telemetry.Gauge
 
 	// reservoir samples original records for the audit's KS comparison;
 	// auditSeed seeds the audit's private synthesis draw.
@@ -205,6 +228,8 @@ func New(cfg Config) (*Server, error) {
 		start:     time.Now(),
 		inFlight:  reg.Gauge("http_in_flight"),
 		tr:        cfg.Tracer,
+		rec:       cfg.Recorder,
+		wd:        cfg.Watchdog,
 		reservoir: audit.NewReservoir(sampleCap, auditSeed),
 		auditSeed: auditSeed,
 	}
@@ -212,11 +237,14 @@ func New(cfg Config) (*Server, error) {
 	if s.log == nil {
 		s.log = telemetry.Nop()
 	}
+	s.initObservability()
 	s.route("/v1/records", s.handleRecords)
 	s.route("/v1/snapshot", s.handleSnapshot)
 	s.route("/v1/stats", s.handleStats)
 	s.route("/v1/audit", s.handleAudit)
 	s.route("/v1/checkpoint", s.handleCheckpoint)
+	s.route("/v1/history", s.handleHistory)
+	s.route("/v1/health/rules", s.handleHealthRules)
 	s.route("/healthz", s.handleHealth)
 	s.route("/metrics", s.handleMetrics)
 	s.route("/debug/vars", s.handleVars)
@@ -652,12 +680,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	groups := s.eng.NumGroups()
 	records := s.eng.TotalCount()
 	s.runlock()
-	writeJSON(w, http.StatusOK, healthResponse{
-		Status:        "ok",
+	// The watchdog's worst rule state becomes the probe answer: degraded
+	// stays 200 (the service works, someone should look), failing turns
+	// 503 so orchestrators stop routing to it.
+	sev := s.wd.State()
+	status := http.StatusOK
+	if sev == telemetry.SevFailing {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, healthResponse{
+		Status:        sev.String(),
 		GoVersion:     runtime.Version(),
 		VCSRevision:   s.buildRevision,
 		VCSTime:       s.buildTime,
-		UptimeSeconds: time.Since(s.start).Seconds(),
+		UptimeSeconds: s.uptimeSeconds(),
 		Dim:           s.dim,
 		K:             s.k,
 		Shards:        s.eng.NumShards(),
@@ -666,12 +702,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// uptimeSeconds is the seconds since construction — the value /healthz
+// reports and collect mirrors into the condense_uptime_seconds gauge.
+func (s *Server) uptimeSeconds() float64 { return time.Since(s.start).Seconds() }
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
 		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
+	// Refresh derived gauges so a direct Prometheus scrape (no flight
+	// recorder running) still sees live uptime and shard loads.
+	s.collect()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.reg.WritePrometheus(w)
 }
@@ -682,6 +725,7 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
+	s.collect()
 	w.Header().Set("Content-Type", "application/json")
 	_ = s.reg.WriteJSON(w)
 }
@@ -705,6 +749,18 @@ func (s *Server) Audit() (*audit.Report, error) {
 		return nil, err
 	}
 	rep.Publish(s.reg)
+	// On a sharded engine, republish each shard's privacy-critical slice
+	// under shard="i" labels so the watchdog and dashboards can see which
+	// shard is degrading, not just that the merged numbers moved.
+	if n := s.eng.NumShards(); n >= 2 {
+		for i := 0; i < n; i++ {
+			sr, err := s.auditShard(i)
+			if err != nil {
+				return nil, err
+			}
+			sr.PublishShard(s.reg, i)
+		}
+	}
 	return rep, nil
 }
 

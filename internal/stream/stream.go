@@ -116,7 +116,7 @@ func (d *Driver) FeedContext(ctx context.Context, records []mat.Vector) error {
 		}
 	}()
 	if d.BatchSize > 1 {
-		return d.feedBatched(ctx, records, t0, &delivered)
+		return d.feedBatched(ctx, records, t0, &delivered, groups0)
 	}
 	for i, x := range records {
 		if err := ctx.Err(); err != nil {
@@ -128,7 +128,7 @@ func (d *Driver) FeedContext(ctx context.Context, records []mat.Vector) error {
 		d.seen++
 		delivered++
 		if d.SnapshotEvery > 0 && d.seen%d.SnapshotEvery == 0 {
-			d.takeSnapshot(ctx, t0, delivered)
+			d.takeSnapshot(ctx, t0, delivered, groups0)
 		}
 	}
 	return nil
@@ -137,7 +137,7 @@ func (d *Driver) FeedContext(ctx context.Context, records []mat.Vector) error {
 // feedBatched is the BatchSize > 1 body of FeedContext: it cuts the stream
 // into chunks that never cross a snapshot boundary and ingests each
 // through the condenser's batch engine.
-func (d *Driver) feedBatched(ctx context.Context, records []mat.Vector, t0 time.Time, delivered *int) error {
+func (d *Driver) feedBatched(ctx context.Context, records []mat.Vector, t0 time.Time, delivered *int, groups0 int) error {
 	for lo := 0; lo < len(records); {
 		hi := lo + d.BatchSize
 		if hi > len(records) {
@@ -159,14 +159,14 @@ func (d *Driver) feedBatched(ctx context.Context, records []mat.Vector, t0 time.
 			return fmt.Errorf("stream: batch at record %d: %w", lo, err)
 		}
 		if d.SnapshotEvery > 0 && d.seen%d.SnapshotEvery == 0 {
-			d.takeSnapshot(ctx, t0, *delivered)
+			d.takeSnapshot(ctx, t0, *delivered, groups0)
 		}
 		lo = hi
 	}
 	return nil
 }
 
-func (d *Driver) takeSnapshot(ctx context.Context, feedStart time.Time, delivered int) {
+func (d *Driver) takeSnapshot(ctx context.Context, feedStart time.Time, delivered, groups0 int) {
 	_, span := d.tr.Start(ctx, "stream.snapshot")
 	defer span.End()
 	snap := d.eng.Condensation()
@@ -181,6 +181,12 @@ func (d *Driver) takeSnapshot(ctx context.Context, feedStart time.Time, delivere
 	if elapsed := time.Since(feedStart).Seconds(); elapsed > 0 {
 		rate = float64(delivered) / elapsed
 	}
+	// Refresh the feed gauges mid-call so a concurrent flight-recorder
+	// scrape sees live throughput during a long Feed, not the values left
+	// over from the previous call; the Feed-end defer still records the
+	// final figures.
+	d.rate.Set(rate)
+	d.churn.Set(float64(snap.NumGroups() - groups0))
 	d.log.Info("stream progress",
 		slog.Int("seen", d.seen),
 		slog.Int("groups", snap.NumGroups()),

@@ -1,0 +1,393 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantile pins the estimator's semantics on the edge cases
+// the recorder meets in practice: no observations, everything in one
+// bucket, and overflow mass past the last finite bound.
+func TestHistogramQuantile(t *testing.T) {
+	upper := []float64{1, 2, 4}
+	tests := []struct {
+		name    string
+		upper   []float64
+		buckets []uint64
+		q       float64
+		want    float64
+	}{
+		{"empty returns NaN", upper, []uint64{0, 0, 0, 0}, 0.95, math.NaN()},
+		{"no bounds returns NaN", nil, []uint64{5}, 0.5, math.NaN()},
+		{"bad quantile returns NaN", upper, []uint64{1, 0, 0, 0}, 1.5, math.NaN()},
+		// All 10 observations in (1,2]: the median rank (5) sits halfway
+		// through the bucket, interpolating to 1.5.
+		{"single bucket interpolates", upper, []uint64{0, 10, 0, 0}, 0.5, 1.5},
+		// First bucket interpolates from 0, not from -Inf.
+		{"first bucket from zero", upper, []uint64{10, 0, 0, 0}, 0.5, 0.5},
+		// Rank 3.8 of 4: 2 below 1, the rest in (2,4].
+		{"across buckets", upper, []uint64{2, 0, 2, 0}, 0.95, 3.8},
+		// The 95th-percentile rank lands in the +Inf overflow: the estimate
+		// is clamped to the highest finite bound.
+		{"overflow clamps to last bound", upper, []uint64{0, 0, 1, 9}, 0.95, 4},
+		{"all overflow clamps", upper, []uint64{0, 0, 0, 7}, 0.5, 4},
+	}
+	for _, tt := range tests {
+		got := histogramQuantile(tt.upper, tt.buckets, tt.q)
+		if math.IsNaN(tt.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: got %g, want NaN", tt.name, got)
+			}
+			continue
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("%s: got %g, want %g", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("jobs_total", "kind", "a").Add(3)
+	reg.Gauge("depth").Set(2.5)
+	h := reg.Histogram("lat_seconds", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(99)
+
+	snap := reg.Snapshot()
+	byID := make(map[string]SeriesSnapshot, len(snap))
+	for _, s := range snap {
+		byID[s.ID()] = s
+	}
+	c, ok := byID[`jobs_total{kind="a"}`]
+	if !ok || c.Kind != "counter" || c.Value != 3 {
+		t.Errorf("counter snapshot = %+v (found %v), want counter value 3", c, ok)
+	}
+	g := byID["depth"]
+	if g.Kind != "gauge" || g.Value != 2.5 {
+		t.Errorf("gauge snapshot = %+v, want gauge value 2.5", g)
+	}
+	hs := byID["lat_seconds"]
+	if hs.Kind != "histogram" || hs.Count != 3 || hs.Sum != 101 {
+		t.Errorf("histogram snapshot = %+v, want count 3 sum 101", hs)
+	}
+	wantBuckets := []uint64{1, 1, 1}
+	if len(hs.Buckets) != 3 {
+		t.Fatalf("histogram buckets = %v, want len 3 (2 finite + overflow)", hs.Buckets)
+	}
+	for i, b := range wantBuckets {
+		if hs.Buckets[i] != b {
+			t.Errorf("bucket[%d] = %d, want %d", i, hs.Buckets[i], b)
+		}
+	}
+	// A nil registry snapshots to nothing.
+	var nilReg *Registry
+	if got := nilReg.Snapshot(); got != nil {
+		t.Errorf("nil registry Snapshot = %v, want nil", got)
+	}
+}
+
+func TestRecorderScrapeDeltas(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(reg, 8)
+	c := reg.Counter("work_total")
+	g := reg.Gauge("level")
+	h := reg.Histogram("lat", []float64{1, 2})
+
+	c.Add(5)
+	g.Set(7)
+	h.Observe(0.5)
+	w1 := rec.Scrape()
+	if s := w1.Counters["work_total"]; s.Value != 5 || s.Delta != 5 {
+		t.Errorf("window 1 counter = %+v, want value 5 delta 5", s)
+	}
+	if v := w1.Gauges["level"]; float64(v) != 7 {
+		t.Errorf("window 1 gauge = %g, want 7", float64(v))
+	}
+	if s := w1.Histograms["lat"]; s.CountDelta != 1 || math.IsNaN(float64(s.P50)) {
+		t.Errorf("window 1 histogram = %+v, want count delta 1 and a finite p50", s)
+	}
+
+	c.Add(2)
+	g.Set(3)
+	w2 := rec.Scrape()
+	if s := w2.Counters["work_total"]; s.Value != 7 || s.Delta != 2 {
+		t.Errorf("window 2 counter = %+v, want value 7 delta 2", s)
+	}
+	if v := w2.Gauges["level"]; float64(v) != 3 {
+		t.Errorf("window 2 gauge = %g, want 3", float64(v))
+	}
+	// No observations this window: quantiles are NaN even though the
+	// cumulative histogram is non-empty.
+	if s := w2.Histograms["lat"]; s.CountDelta != 0 || !math.IsNaN(float64(s.P95)) {
+		t.Errorf("window 2 histogram = %+v, want count delta 0 and NaN p95", s)
+	}
+	if w2.Seq != 2 || !w2.Start.Equal(w1.End) {
+		t.Errorf("window 2 seq/start = %d/%v, want 2 starting at window 1's end %v",
+			w2.Seq, w2.Start, w1.End)
+	}
+}
+
+// TestRecorderRingWraparound fills the ring past capacity and checks that
+// the oldest windows are evicted, the newest retained, in order.
+func TestRecorderRingWraparound(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(reg, 3)
+	c := reg.Counter("ticks_total")
+	for i := 0; i < 7; i++ {
+		c.Inc()
+		rec.Scrape()
+	}
+	if rec.Len() != 3 || rec.Seq() != 7 {
+		t.Fatalf("Len/Seq = %d/%d, want 3/7", rec.Len(), rec.Seq())
+	}
+	ws := rec.Windows(0)
+	if len(ws) != 3 {
+		t.Fatalf("Windows(0) returned %d windows, want 3", len(ws))
+	}
+	for i, want := range []uint64{5, 6, 7} {
+		if ws[i].Seq != want {
+			t.Errorf("window[%d].Seq = %d, want %d (oldest-first after eviction)", i, ws[i].Seq, want)
+		}
+		if v := ws[i].Counters["ticks_total"].Value; v != want {
+			t.Errorf("window[%d] counter value = %d, want %d", i, v, want)
+		}
+	}
+	// last=2 trims from the old end.
+	if ws := rec.Windows(2); len(ws) != 2 || ws[0].Seq != 6 {
+		t.Errorf("Windows(2) = %d windows starting at seq %d, want 2 starting at 6", len(ws), ws[0].Seq)
+	}
+	if w, ok := rec.LastWindow(); !ok || w.Seq != 7 {
+		t.Errorf("LastWindow = seq %d ok %v, want 7 true", w.Seq, ok)
+	}
+}
+
+// TestRecorderConcurrentScrapeObserve mirrors TestRegistryConcurrentFirstUse
+// with a scraper in the loop: metric writers and Scrape race under -race,
+// and the final window must still account for every write.
+func TestRecorderConcurrentScrapeObserve(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(reg, 16)
+	const goroutines = 8
+	const perWorker = 200
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perWorker; i++ {
+				reg.Counter("race_total", "worker", "shared").Inc()
+				reg.Gauge("race_depth").Add(1)
+				reg.Histogram("race_seconds", nil, "worker", "shared").Observe(0.001)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				rec.Scrape()
+			}
+		}
+	}()
+	close(start)
+	go func() {
+		// Stop the scraper once the writers drain.
+		defer close(done)
+		for reg.Counter("race_total", "worker", "shared").Value() < goroutines*perWorker {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+
+	w := rec.Scrape()
+	const want = goroutines * perWorker
+	if got := w.Counters[`race_total{worker="shared"}`].Value; got != want {
+		t.Errorf("final counter value = %d, want %d", got, want)
+	}
+	if got := w.Histograms[`race_seconds{worker="shared"}`].Count; got != want {
+		t.Errorf("final histogram count = %d, want %d", got, want)
+	}
+}
+
+func TestRecorderCollectors(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(reg, 4)
+	calls := 0
+	rec.AddCollector(func() {
+		calls++
+		reg.Gauge("derived").Set(float64(calls))
+	})
+	rec.AddCollector(nil) // must be ignored
+	rec.Scrape()
+	w := rec.Scrape()
+	if calls != 2 {
+		t.Errorf("collector ran %d times, want 2 (once per scrape)", calls)
+	}
+	if v := float64(w.Gauges["derived"]); v != 2 {
+		t.Errorf("derived gauge in window = %g, want 2 (refreshed before the registry read)", v)
+	}
+}
+
+func TestRecorderSeriesHelpers(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(reg, 8)
+	g := reg.Gauge("ratio")
+	c := reg.Counter("events_total")
+	h := reg.Histogram("lat", []float64{1, 2})
+
+	g.Set(1)
+	c.Add(10)
+	rec.Scrape()
+	g.Set(2)
+	c.Add(5)
+	h.Observe(1.5)
+	rec.Scrape()
+
+	if got := rec.GaugeSeries("ratio", 0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("GaugeSeries = %v, want [1 2]", got)
+	}
+	if got := rec.CounterDeltaSeries("events_total", 0); got[0] != 10 || got[1] != 5 {
+		t.Errorf("CounterDeltaSeries = %v, want [10 5]", got)
+	}
+	q := rec.QuantileSeries("lat", 0.95, 0)
+	if !math.IsNaN(q[0]) || math.IsNaN(q[1]) {
+		t.Errorf("QuantileSeries = %v, want [NaN finite]", q)
+	}
+	if got := rec.GaugeSeries("missing", 0); !math.IsNaN(got[0]) || !math.IsNaN(got[1]) {
+		t.Errorf("missing GaugeSeries = %v, want all NaN", got)
+	}
+	if got := rec.QuantileSeries("lat", 0.75, 0); !math.IsNaN(got[1]) {
+		t.Errorf("unsupported quantile returned %v, want NaN", got[1])
+	}
+}
+
+func TestFilterWindow(t *testing.T) {
+	w := Window{
+		Counters: map[string]CounterSample{
+			"a_total":                 {Value: 1},
+			`shardy{shard="0"}`:       {Value: 2},
+			`shardy_other{shard="0"}`: {Value: 3},
+		},
+		Gauges:     map[string]JSONFloat{`shardy{shard="1"}`: 4, "b": 5},
+		Histograms: map[string]HistogramSample{"lat": {Count: 6}},
+	}
+	got := FilterWindow(w, []string{"shardy", "lat"})
+	if len(got.Counters) != 1 || got.Counters[`shardy{shard="0"}`].Value != 2 {
+		t.Errorf("filtered counters = %v, want only the shardy family", got.Counters)
+	}
+	if len(got.Gauges) != 1 || got.Gauges[`shardy{shard="1"}`] != 4 {
+		t.Errorf("filtered gauges = %v, want only shardy{shard=\"1\"}", got.Gauges)
+	}
+	if len(got.Histograms) != 1 {
+		t.Errorf("filtered histograms = %v, want lat only", got.Histograms)
+	}
+}
+
+func TestRecorderRun(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(reg, 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seen := make(chan Window, 64)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rec.Run(ctx, time.Millisecond, func(w Window) { seen <- w })
+	}()
+	w1 := <-seen
+	w2 := <-seen
+	if w2.Seq != w1.Seq+1 {
+		t.Errorf("after-callback windows out of order: %d then %d", w1.Seq, w2.Seq)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop on context cancellation")
+	}
+}
+
+// TestWindowJSON: windows must marshal even when quantiles are NaN
+// (encoding/json rejects raw NaN), rendering them as null.
+func TestWindowJSON(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(reg, 2)
+	reg.Histogram("lat", []float64{1}) // registered, never observed
+	w := rec.Scrape()
+	b, err := json.Marshal(w)
+	if err != nil {
+		t.Fatalf("marshaling a window with NaN quantiles: %v", err)
+	}
+	var back map[string]interface{}
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	hists := back["histograms"].(map[string]interface{})
+	lat := hists["lat"].(map[string]interface{})
+	if lat["p95"] != nil {
+		t.Errorf("NaN p95 marshaled as %v, want null", lat["p95"])
+	}
+	// Typed round-trip: null must come back as NaN, not zero, so watch
+	// clients can tell "no traffic" from "instant".
+	var typed Window
+	if err := json.Unmarshal(b, &typed); err != nil {
+		t.Fatalf("typed round-trip: %v", err)
+	}
+	if got := typed.Histograms["lat"].P95; !math.IsNaN(float64(got)) {
+		t.Errorf("null p95 unmarshaled as %v, want NaN", got)
+	}
+}
+
+// TestRecorderNil: a nil recorder must be safely disabled everywhere the
+// server and daemon touch it.
+func TestRecorderNil(t *testing.T) {
+	var rec *Recorder
+	rec.AddCollector(func() {})
+	if rec.Len() != 0 || rec.Capacity() != 0 || rec.Seq() != 0 {
+		t.Error("nil recorder reports non-zero state")
+	}
+	if ws := rec.Windows(5); ws != nil {
+		t.Errorf("nil recorder Windows = %v, want nil", ws)
+	}
+	if _, ok := rec.LastWindow(); ok {
+		t.Error("nil recorder has a last window")
+	}
+}
+
+// BenchmarkRecorderScrape measures one scrape over a registry shaped like
+// a live condenserd's (a few dozen series including histograms) — the
+// full per-interval cost the scraper goroutine pays, none of which lands
+// on the ingest path.
+func BenchmarkRecorderScrape(b *testing.B) {
+	reg := NewRegistry()
+	for i := 0; i < 8; i++ {
+		shard := string(rune('0' + i))
+		reg.Counter("condense_stream_records_total", "shard", shard).Add(1000 * (i + 1))
+		reg.Gauge("condense_groups", "shard", shard).Set(float64(40 * (i + 1)))
+		h := reg.Histogram("condense_stage_seconds", nil, "stage", "route", "shard", shard)
+		for j := 0; j < 100; j++ {
+			h.Observe(float64(j) * 1e-4)
+		}
+	}
+	reg.Histogram("http_request_seconds", nil, "path", "/v1/records").Observe(0.01)
+	rec := NewRecorder(reg, 360)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Scrape()
+	}
+}

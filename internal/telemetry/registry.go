@@ -316,6 +316,69 @@ func (r *Registry) snapshot() []*metric {
 	return out
 }
 
+// SeriesSnapshot is one series' point-in-time state, as captured by
+// Registry.Snapshot. Exactly one of the three kind-specific views is
+// meaningful, discriminated by Kind.
+type SeriesSnapshot struct {
+	// Name is the metric family name; Labels is the rendered {k="v",...}
+	// block ("" for an unlabeled series). Name+Labels is the series id the
+	// flight recorder keys windows by.
+	Name   string
+	Labels string
+	// Kind is "counter", "gauge", or "histogram".
+	Kind string
+	// Value carries the counter or gauge value.
+	Value float64
+	// Count, Sum, Upper, and Buckets carry the histogram state. Count is
+	// derived from the bucket array (like WritePrometheus's _count), so it
+	// always equals the sum of Buckets even under concurrent Observes.
+	// Upper is the ascending finite bucket bounds and is shared with the
+	// registry — callers must not mutate it; Buckets is a fresh copy of
+	// len(Upper)+1 counts, the last being the +Inf overflow slot.
+	Count   uint64
+	Sum     float64
+	Upper   []float64
+	Buckets []uint64
+}
+
+// ID returns the series identity the registry keys by: name plus the
+// rendered label block.
+func (s SeriesSnapshot) ID() string { return s.Name + s.Labels }
+
+// Snapshot captures every registered series' current state, sorted by id
+// for deterministic consumption. It is the structured twin of
+// WritePrometheus, built for the flight recorder's periodic scrapes; a nil
+// registry snapshots to nil.
+func (r *Registry) Snapshot() []SeriesSnapshot {
+	if r == nil {
+		return nil
+	}
+	metrics := r.snapshot()
+	out := make([]SeriesSnapshot, 0, len(metrics))
+	for _, m := range metrics {
+		s := SeriesSnapshot{Name: m.name, Labels: m.labels}
+		switch {
+		case m.c != nil:
+			s.Kind = "counter"
+			s.Value = float64(m.c.Value())
+		case m.g != nil:
+			s.Kind = "gauge"
+			s.Value = m.g.Value()
+		case m.h != nil:
+			s.Kind = "histogram"
+			s.Upper = m.h.upper
+			s.Buckets = make([]uint64, len(m.h.buckets))
+			for i := range m.h.buckets {
+				s.Buckets[i] = m.h.buckets[i].Load()
+				s.Count += s.Buckets[i]
+			}
+			s.Sum = m.h.Sum()
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
 // formatFloat renders a float the way Prometheus clients do.
 func formatFloat(v float64) string {
 	switch {
