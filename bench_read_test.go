@@ -1,0 +1,181 @@
+// Serving-tier read benchmarks (PR 9): the generation-versioned read
+// path. Each benchmark drives one read endpoint against a server resumed
+// at the pinned G = 800 correlated-stream base and reports two cells:
+//
+//   - hot:  repeated reads of unchanged state — the generation-keyed
+//     caches serve stored bytes, so cost is response plumbing alone.
+//   - cold: every read is preceded by an off-clock single-record POST
+//     that moves the mutation generation, forcing the full rebuild
+//     (group clones, synthesis/size-sweep/serialization, encoding).
+//
+// The hot/cold allocation gap is the tentpole claim: unchanged-state
+// reads drop from O(G·d²) clones per request to near-zero. The harness
+// reuses one request and one response writer so the cells measure the
+// server, not httptest allocations. Reference numbers live in
+// BENCH_PR9.json; CI guards the hot-cell allocs/op.
+package condensation
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"condensation/internal/core"
+	"condensation/internal/server"
+)
+
+// benchWriter is a reusable allocation-free http.ResponseWriter: the
+// header map and body buffer persist across requests so per-iteration
+// allocs/op reflect handler work only.
+type benchWriter struct {
+	header http.Header
+	body   bytes.Buffer
+	status int
+}
+
+func newBenchWriter() *benchWriter { return &benchWriter{header: make(http.Header)} }
+
+func (w *benchWriter) Header() http.Header { return w.header }
+func (w *benchWriter) WriteHeader(s int)   { w.status = s }
+func (w *benchWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.body.Write(p)
+}
+
+func (w *benchWriter) reset() {
+	w.status = 0
+	w.body.Reset()
+	for k := range w.header {
+		delete(w.header, k)
+	}
+}
+
+// get drives one request through the server via the reused writer,
+// failing the benchmark unless the response status is want.
+func (w *benchWriter) get(b *testing.B, s *server.Server, req *http.Request, want int) {
+	w.reset()
+	s.ServeHTTP(w, req)
+	if w.status != want {
+		b.Fatalf("GET %s status %d, want %d: %s", req.URL, w.status, want, w.body.String())
+	}
+}
+
+// benchServerRead measures one read endpoint hot and cold at G = 800.
+func benchServerRead(b *testing.B, path string) {
+	const dim, k = 8, 25
+	const G = 800
+	full := benchStreamCorr(14, G*k+1<<14, dim)
+	base := benchBase(b, full, G, k)
+	c, err := core.NewCondenser(k, core.WithSeed(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fresh := func() *server.Server {
+		s, err := server.New(server.Config{Dim: dim, Condenser: c, Initial: base})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	// Pre-encoded single-record POST bodies: the cold loop's off-clock
+	// generation movers, drawn from the same correlated pool.
+	pool := full[G*k:]
+	bodies := make([][]byte, 512)
+	for i := range bodies {
+		body, err := json.Marshal(map[string]interface{}{
+			"records": [][]float64{[]float64(pool[i%len(pool)])},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = body
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		s := fresh()
+		w := newBenchWriter()
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		w.get(b, s, req, http.StatusOK) // size the body buffer off the clock
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			// Re-seed periodically so group count stays pinned near G
+			// despite the per-iteration writes, as the ingest benches do.
+			if i > 0 && i%benchResetEvery == 0 {
+				s = fresh()
+			}
+			post := httptest.NewRequest(http.MethodPost, "/v1/records",
+				bytes.NewReader(bodies[i%len(bodies)]))
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, post)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("invalidating POST status %d: %s", rec.Code, rec.Body.String())
+			}
+			b.StartTimer()
+			w.get(b, s, req, http.StatusOK)
+		}
+	})
+
+	b.Run("hot", func(b *testing.B) {
+		s := fresh()
+		w := newBenchWriter()
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		w.get(b, s, req, http.StatusOK) // warm the generation caches off the clock
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.get(b, s, req, http.StatusOK)
+		}
+	})
+}
+
+// BenchmarkServerReadSnapshot measures GET /v1/snapshot: 20000 synthesized
+// records, JSON-encoded (~3 MB per response). Hot replays the memoized
+// (generation, seed) body; cold re-synthesizes and re-encodes everything.
+func BenchmarkServerReadSnapshot(b *testing.B) { benchServerRead(b, "/v1/snapshot?seed=7") }
+
+// BenchmarkServerReadStats measures GET /v1/stats: hot replays the encoded
+// body; cold re-sweeps the per-group sizes (no cloning either way).
+func BenchmarkServerReadStats(b *testing.B) { benchServerRead(b, "/v1/stats") }
+
+// BenchmarkServerReadCheckpoint measures GET /v1/checkpoint: hot serves
+// the cached encoded state under its generation ETag; cold re-clones all
+// G groups and re-serializes. The extra hot304 cell is the conditional
+// poller: If-None-Match matches, so the server answers with headers
+// alone — the replica-refresh fast path.
+func BenchmarkServerReadCheckpoint(b *testing.B) {
+	benchServerRead(b, "/v1/checkpoint")
+
+	const dim, k = 8, 25
+	const G = 800
+	full := benchStreamCorr(14, G*k+1<<10, dim)
+	base := benchBase(b, full, G, k)
+	c, err := core.NewCondenser(k, core.WithSeed(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("hot304", func(b *testing.B) {
+		s, err := server.New(server.Config{Dim: dim, Condenser: c, Initial: base})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := newBenchWriter()
+		w.get(b, s, httptest.NewRequest(http.MethodGet, "/v1/checkpoint", nil), http.StatusOK)
+		etag := w.header.Get("ETag")
+		if etag == "" {
+			b.Fatal("checkpoint served no ETag")
+		}
+		req := httptest.NewRequest(http.MethodGet, "/v1/checkpoint", nil)
+		req.Header.Set("If-None-Match", etag)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.get(b, s, req, http.StatusNotModified)
+		}
+	})
+}

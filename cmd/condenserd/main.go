@@ -19,6 +19,15 @@
 // net/http/pprof profiling endpoints are served on that separate (ideally
 // loopback-only) address.
 //
+// Reads are generation-versioned: the engine's mutation generation
+// (reported on /healthz) keys caches of group snapshots, synthesized
+// bodies, stats, audit reports, and encoded checkpoints, so repeated
+// reads of unchanged state replay prepared bytes instead of recloning
+// groups. GET /v1/checkpoint serves a strong ETag: "<generation>" and
+// answers If-None-Match with 304, so replica-style pollers re-download
+// only after a write; cache effectiveness is exported as
+// condense_read_cache_{hits,misses}_total{cache=...} on /metrics.
+//
 // A background auditor recomputes the privacy-audit report (group-size
 // invariant, SSE ratio, KS distances — see internal/audit) every
 // -audit-every and publishes it to /metrics; -audit-every 0 disables it.

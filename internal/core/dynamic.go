@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"condensation/internal/mat"
@@ -53,7 +55,40 @@ type Dynamic struct {
 	routed  int              // records routed, for sampled stage timing
 	scratch batchScratch     // reusable AddBatch buffers
 	eig     mat.EigenScratch // reusable split eigensolve workspaces
+
+	// gen is the engine's mutation generation: a monotone counter advanced
+	// before every state-changing apply and untouched by reads. The shards
+	// of one Sharded share a single counter, so a generation value names a
+	// unique prefix of the engine-wide mutation sequence — the property
+	// that lets every read-side cache in the stack (the snapshot cache
+	// below, the server's artifact memos, checkpoint ETags) use it as a
+	// complete version key. lastMut is the counter value at this engine's
+	// own most recent mutation, so a shard's snapshot cache invalidates
+	// only when that shard changed, not when any sibling did.
+	gen     *atomic.Uint64
+	lastMut uint64
+
+	// The generation-keyed snapshot cache: the group clones handed out by
+	// the last Condensation call, valid while lastMut still equals snapGen.
+	// Writers never touch it (they only advance the generation — copy on
+	// write-invalidate, not copy on read); concurrent readers racing to
+	// rebuild it under the caller's read lock serialize on snapMu.
+	snapMu     sync.Mutex
+	snapGen    uint64
+	snapGroups []*stats.Group
 }
+
+// bump advances the mutation generation at the start of a state change,
+// so a generation-keyed cache can never mistake a pre-mutation snapshot
+// for current state.
+func (d *Dynamic) bump() { d.lastMut = d.gen.Add(1) }
+
+// Generation returns the engine's mutation generation. It advances on
+// every state-changing apply (Add, each applied record of AddBatch —
+// group splits ride along) and is stable across pure reads, so an equal
+// generation implies bit-identical condensed state. Reading it needs no
+// lock: the counter is atomic.
+func (d *Dynamic) Generation() uint64 { return d.gen.Load() }
 
 // SetTelemetry attaches a metrics registry: Add and AddBatch then count
 // stream records and split events, time the nearest-centroid routing (the
@@ -103,6 +138,7 @@ func NewDynamic(initial *Condensation, r *rng.Source) (*Dynamic, error) {
 		opts:   initial.opts,
 		r:      r,
 		groups: initial.Groups(),
+		gen:    new(atomic.Uint64),
 	}
 	d.centroids = make([]mat.Vector, len(d.groups))
 	for i, g := range d.groups {
@@ -135,7 +171,7 @@ func NewDynamicEmpty(dim, k int, opts Options, r *rng.Source) (*Dynamic, error) 
 	if r == nil {
 		return nil, errors.New("core: nil random source")
 	}
-	d := &Dynamic{k: k, dim: dim, opts: opts, r: r}
+	d := &Dynamic{k: k, dim: dim, opts: opts, r: r, gen: new(atomic.Uint64)}
 	d.initRouter()
 	return d, nil
 }
@@ -226,6 +262,7 @@ func (d *Dynamic) add(x mat.Vector, sp *telemetry.Span) error {
 // found admits the very first stream record of an empty condenser: it
 // founds group 0.
 func (d *Dynamic) found(x mat.Vector) error {
+	d.bump()
 	g := stats.NewGroup(d.dim)
 	if err := g.Add(x); err != nil {
 		return err
@@ -265,6 +302,7 @@ func (d *Dynamic) route(x mat.Vector) int {
 // sampled per-record span for Add, the apply-phase span for AddBatch); a
 // split then records a child span under it.
 func (d *Dynamic) ingest(best int, x mat.Vector, sp *telemetry.Span) error {
+	d.bump()
 	g := d.groups[best]
 	if err := g.Add(x); err != nil {
 		return err
@@ -334,14 +372,48 @@ func (d *Dynamic) AddAllContext(ctx context.Context, records []mat.Vector) error
 }
 
 // Condensation snapshots the current groups as an immutable Condensation
-// that can be synthesized from. The groups are copied.
+// that can be synthesized from. The group copies are cached per mutation
+// generation: a snapshot taken with no intervening writes reuses the
+// previous call's clones instead of re-copying O(G·d²) state, so repeated
+// reads of unchanged state cost one slice header. The cached groups are
+// never mutated afterwards — stats.Group read methods are pure and
+// Condensation.Groups() clones on access — so sharing them across
+// snapshots is safe; each call still gets a fresh Condensation header, so
+// per-caller settings (parallelism, telemetry, tracer) never leak between
+// snapshots.
 func (d *Dynamic) Condensation() *Condensation {
-	groups := make([]*stats.Group, len(d.groups))
-	for i, g := range d.groups {
-		groups[i] = g.Clone()
+	d.snapMu.Lock()
+	if d.snapGroups == nil || d.snapGen != d.lastMut {
+		groups := make([]*stats.Group, len(d.groups))
+		for i, g := range d.groups {
+			groups[i] = g.Clone()
+		}
+		d.snapGroups = groups
+		d.snapGen = d.lastMut
+		d.met.snapMisses.Inc()
+	} else {
+		d.met.snapHits.Inc()
 	}
+	groups := d.snapGroups
+	d.snapMu.Unlock()
 	cond := newCondensation(d.dim, d.k, d.opts, groups)
 	cond.met = d.met
 	cond.tr = d.tr
 	return cond
+}
+
+// ShardGroupSizes appends the live per-group record counts of shard i to
+// buf (resliced to zero length first) and returns it; only shard 0 exists.
+// Unlike Shard, this reads the retained counts directly — no group
+// cloning — so size-only consumers (per-shard stats, k-invariant checks)
+// stay O(G) ints under the serving lock.
+func (d *Dynamic) ShardGroupSizes(i int, buf []int) []int {
+	if i != 0 {
+		panic(fmt.Sprintf("core: shard %d out of range on a single-shard engine", i))
+	}
+	buf = buf[:0]
+	for _, g := range d.groups {
+		buf = append(buf, g.N())
+	}
+	return buf
 }

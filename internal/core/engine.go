@@ -65,6 +65,20 @@ type Engine interface {
 	// without materializing its groups — cheap enough for periodic
 	// scraping. Like Shard, it panics when i is out of range.
 	ShardCounts(i int) (records, groups, splits int)
+	// ShardGroupSizes appends one shard's live per-group record counts to
+	// buf (resliced to zero length first) and returns it — a moments-only
+	// size audit with no group cloning, for consumers that need the size
+	// distribution but not the statistics. Like Shard, it panics when i is
+	// out of range.
+	ShardGroupSizes(i int, buf []int) []int
+
+	// Generation returns the engine's mutation generation: a monotone
+	// counter advanced on every state-changing apply (Add, each applied
+	// record of AddBatch — splits ride along) and stable across pure
+	// reads. Equal generations imply bit-identical condensed state, so the
+	// value is a complete version key for read-side caches and HTTP ETags.
+	// The read is one atomic load and never blocks on engine locks.
+	Generation() uint64
 
 	// Synchronized reports whether the engine performs its own locking.
 	// Callers serving a non-synchronized engine to concurrent clients

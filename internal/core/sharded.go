@@ -7,6 +7,7 @@ import (
 	"math"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"condensation/internal/mat"
 	"condensation/internal/par"
@@ -50,6 +51,13 @@ type Sharded struct {
 	// snapshots (synthesis stage timings); tr is the span tracer.
 	met engineMetrics
 	tr  *telemetry.Tracer
+
+	// gen is the mutation generation shared by every shard: each shard's
+	// Dynamic bumps this one counter (not a private one), so a generation
+	// value names a unique engine-wide state. Summing per-shard counters
+	// would alias distinct states (shard A +2 vs A +1 and B +1 sum the
+	// same), which would let a generation-keyed ETag serve stale bytes.
+	gen *atomic.Uint64
 }
 
 // engineShard pairs one Dynamic with its lock. The shard's Dynamic is
@@ -123,9 +131,14 @@ func (c *Condenser) ShardedFrom(initial *Condensation, shards int) (*Sharded, er
 	return s, nil
 }
 
-// finish wires the Condenser's observability and divides its speculation
-// parallelism across the shards.
+// finish wires the Condenser's observability, shares one mutation
+// generation counter across the shards, and divides the speculation
+// parallelism across them.
 func (s *Sharded) finish(c *Condenser) {
+	s.gen = new(atomic.Uint64)
+	for _, sh := range s.shards {
+		sh.dyn.gen = s.gen
+	}
 	s.SetParallelism(c.search.Parallelism)
 	s.SetTelemetry(c.tel)
 	s.SetTracer(c.trace)
@@ -424,6 +437,23 @@ func (s *Sharded) ShardCounts(i int) (records, groups, splits int) {
 	sh.mu.RUnlock()
 	return records, groups, splits
 }
+
+// ShardGroupSizes appends shard i's live per-group record counts to buf
+// under that shard's read lock — no group cloning, so size-only consumers
+// (per-shard stats, k-invariant checks) stay O(G) ints per shard.
+func (s *Sharded) ShardGroupSizes(i int, buf []int) []int {
+	sh := s.shards[i]
+	sh.mu.RLock()
+	buf = sh.dyn.ShardGroupSizes(0, buf)
+	sh.mu.RUnlock()
+	return buf
+}
+
+// Generation returns the engine-wide mutation generation: the shared
+// counter every shard advances on each applied record. Equal generations
+// imply bit-identical merged state; the read is one atomic load, no shard
+// locks.
+func (s *Sharded) Generation() uint64 { return s.gen.Load() }
 
 // SetTelemetry attaches a metrics registry. With more than one shard,
 // every engine series carries a shard="i" label so per-shard ingest

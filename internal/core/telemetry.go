@@ -15,6 +15,13 @@ const (
 	metricSplitEvents   = "condense_split_events_total"
 	metricStreamRecords = "condense_stream_records_total"
 	metricGroups        = "condense_groups"
+
+	// Read-path cache effectiveness, shared by the engine snapshot cache
+	// (cache="snapshot") and the server's artifact memos (cache="synthesis",
+	// "stats", "audit", "checkpoint"): a hit served previously materialized
+	// state, a miss rebuilt it from the live groups.
+	metricReadCacheHits   = "condense_read_cache_hits_total"
+	metricReadCacheMisses = "condense_read_cache_misses_total"
 )
 
 // engineMetrics holds the pre-resolved handles the engine hot paths write
@@ -36,6 +43,9 @@ type engineMetrics struct {
 	splitEvents   *telemetry.Counter
 	streamRecords *telemetry.Counter
 	groups        *telemetry.Gauge
+
+	snapHits   *telemetry.Counter // cache=snapshot: Condensation reused cached clones
+	snapMisses *telemetry.Counter // cache=snapshot: Condensation recloned groups
 }
 
 // newEngineMetrics resolves the engine handles from reg (nil reg means
@@ -62,6 +72,8 @@ func newEngineMetrics(reg *telemetry.Registry, labels ...string) engineMetrics {
 		splitEvents:   reg.Counter(metricSplitEvents, labels...),
 		streamRecords: reg.Counter(metricStreamRecords, labels...),
 		groups:        reg.Gauge(metricGroups, labels...),
+		snapHits:      reg.Counter(metricReadCacheHits, append([]string{"cache", "snapshot"}, labels...)...),
+		snapMisses:    reg.Counter(metricReadCacheMisses, append([]string{"cache", "snapshot"}, labels...)...),
 	}
 }
 

@@ -31,6 +31,14 @@ const (
 	// MetricShardImbalance is max/mean of per-shard record counts — 1.0 is
 	// perfectly balanced, N means one shard carries everything.
 	MetricShardImbalance = "condense_shard_imbalance_ratio"
+	// MetricReadCacheHits/Misses count generation-keyed read-cache
+	// outcomes, one series per cache="..." kind: the engine's snapshot
+	// cache plus the server's synthesis/stats/audit/checkpoint memos. A
+	// hit served previously materialized state; a miss rebuilt it. The
+	// names match the engine's (internal/core registers the snapshot
+	// series), so the whole read path shares one family.
+	MetricReadCacheHits   = "condense_read_cache_hits_total"
+	MetricReadCacheMisses = "condense_read_cache_misses_total"
 )
 
 // initObservability resolves the build-info, uptime, and per-shard load

@@ -26,22 +26,24 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/url"
 	"runtime"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"condensation/internal/audit"
 	"condensation/internal/core"
 	"condensation/internal/mat"
-	"condensation/internal/privacy"
 	"condensation/internal/rng"
 	"condensation/internal/telemetry"
 )
@@ -156,6 +158,17 @@ type Server struct {
 	reservoir *audit.Reservoir
 	auditSeed uint64
 
+	// cache memoizes derived read artifacts per engine generation —
+	// encoded checkpoint/stats/snapshot bodies and audit reports — so
+	// repeated reads of unchanged state serve stored bytes instead of
+	// re-cloning and re-encoding O(state). The cm* pairs count hit/miss
+	// outcomes per artifact kind.
+	cache        readCache
+	cmSnapshot   cacheMetrics
+	cmStats      cacheMetrics
+	cmAudit      cacheMetrics
+	cmCheckpoint cacheMetrics
+
 	// Build identity, read once at construction (ReadBuildInfo walks the
 	// embedded module table — too expensive to redo per /healthz probe).
 	buildRevision, buildTime string
@@ -234,6 +247,10 @@ func New(cfg Config) (*Server, error) {
 		auditSeed: auditSeed,
 	}
 	s.buildRevision, s.buildTime = buildVCS()
+	s.cmSnapshot = newCacheMetrics(reg, "synthesis")
+	s.cmStats = newCacheMetrics(reg, "stats")
+	s.cmAudit = newCacheMetrics(reg, "audit")
+	s.cmCheckpoint = newCacheMetrics(reg, "checkpoint")
 	if s.log == nil {
 		s.log = telemetry.Nop()
 	}
@@ -285,12 +302,16 @@ func (s *Server) runlock() {
 	}
 }
 
-// snapshot takes a read-consistent condensation snapshot of the engine.
-func (s *Server) snapshot() *core.Condensation {
-	s.rlock()
-	defer s.runlock()
-	return s.eng.Condensation()
-}
+// The read handlers below share one discipline for generation-keyed
+// memoization: read the generation, probe the cache, and on a miss build
+// the artifact and re-read the generation before installing. For a
+// non-synchronized engine the server's read lock excludes writers, so the
+// re-read always matches and every miss installs. For a self-synchronized
+// engine (rlock is a no-op) writers run concurrently, and a changed
+// generation means the artifact may straddle a mutation — it is then
+// served fresh but neither cached nor stamped with an ETag, after one
+// retry. Stores of a stale generation are refused by the cache itself, so
+// a slow build can never clobber a newer entry.
 
 // route registers a handler behind the telemetry middleware: per-endpoint
 // request counter by status class, latency histogram, and the shared
@@ -363,6 +384,36 @@ type recordsResponse struct {
 // errorResponse is the uniform error body.
 type errorResponse struct {
 	Error string `json:"error"`
+}
+
+// Shared Content-Type header values for prepared-body responses. Header
+// maps hold these slices directly (keys are already in canonical form),
+// so the hot path writes headers without allocating; nothing may mutate
+// them.
+var (
+	headerJSON  = []string{"application/json"}
+	headerOctet = []string{"application/octet-stream"}
+)
+
+// writePrepared serves a prepared body: headers come from the values
+// rendered at build time, the bytes are written as-is. With Content-Length
+// declared up front, a mid-stream write failure reaches the client as a
+// detectably short body, never a silently truncated stream.
+func writePrepared(w http.ResponseWriter, contentType []string, b *respBody) {
+	h := w.Header()
+	h["Content-Type"] = contentType
+	h["Content-Length"] = b.cl
+	_, _ = w.Write(b.data)
+}
+
+// queryParams parses the URL query once per request, skipping the parse
+// entirely for the common bare-path poll. The nil url.Values Get/Has
+// behave as "absent", which is exactly right.
+func queryParams(r *http.Request) url.Values {
+	if r.URL.RawQuery == "" {
+		return nil
+	}
+	return r.URL.Query()
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -463,7 +514,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	seed := uint64(1)
-	if q := r.URL.Query().Get("seed"); q != "" {
+	if q := queryParams(r).Get("seed"); q != "" {
 		v, err := strconv.ParseUint(q, 10, 64)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad seed %q", q))
@@ -471,21 +522,71 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		}
 		seed = v
 	}
-	cond := s.snapshot()
-	if cond.TotalCount() == 0 {
-		writeError(w, http.StatusConflict, errors.New("no records condensed yet"))
-		return
-	}
-	synth, err := cond.Synthesize(rng.New(seed))
+	body, err := s.snapshotBody(seed)
 	if err != nil {
+		if errors.Is(err, errNoRecords) {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	resp := snapshotResponse{Groups: cond.NumGroups(), K: cond.K()}
-	for _, x := range synth {
-		resp.Records = append(resp.Records, []float64(x))
+	writePrepared(w, headerJSON, body)
+}
+
+// errNoRecords is the empty-engine snapshot refusal, mapped to 409.
+var errNoRecords = errors.New("no records condensed yet")
+
+// snapshotBody returns the encoded /v1/snapshot body for one synthesis
+// seed, memoized per (generation, seed): synthesis is a pure function of
+// the retained moments and the seed, so a generation-stable body can be
+// replayed byte for byte until the next write. A miss synthesizes into
+// row headers that share the flat per-group slabs SynthesizeGrouped
+// carves its points from — preallocated from the known record count, no
+// per-row copying — and encodes once into a reusable byte slice.
+func (s *Server) snapshotBody(seed uint64) (*respBody, error) {
+	for attempt := 0; ; attempt++ {
+		s.rlock()
+		gen := s.eng.Generation()
+		if b, ok := s.cache.snapshotAt(gen, seed); ok {
+			s.runlock()
+			s.cmSnapshot.hits.Inc()
+			return b, nil
+		}
+		cond := s.eng.Condensation()
+		stable := s.eng.Generation() == gen
+		s.runlock()
+		s.cmSnapshot.misses.Inc()
+		if cond.TotalCount() == 0 {
+			return nil, errNoRecords
+		}
+		grouped, err := cond.SynthesizeGrouped(rng.New(seed))
+		if err != nil {
+			return nil, err
+		}
+		resp := snapshotResponse{
+			Records: make([][]float64, 0, cond.TotalCount()),
+			Groups:  cond.NumGroups(),
+			K:       cond.K(),
+		}
+		for _, g := range grouped {
+			for _, x := range g {
+				resp.Records = append(resp.Records, x)
+			}
+		}
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(resp); err != nil {
+			return nil, err
+		}
+		body := newRespBody(buf.Bytes())
+		if stable {
+			s.cache.storeSnapshot(gen, seed, body)
+			return body, nil
+		}
+		if attempt >= 1 {
+			return body, nil
+		}
 	}
-	writeJSON(w, http.StatusOK, resp)
 }
 
 // statsResponse summarizes the live condensation. ByShard is present only
@@ -518,14 +619,14 @@ type shardStats struct {
 // shardParam parses the optional ?shard=i selector: (index, true, nil)
 // when a valid shard was requested, (0, false, nil) when absent, an error
 // when malformed or out of range.
-func (s *Server) shardParam(r *http.Request) (int, bool, error) {
-	q := r.URL.Query().Get("shard")
-	if q == "" {
+func (s *Server) shardParam(q url.Values) (int, bool, error) {
+	v := q.Get("shard")
+	if v == "" {
 		return 0, false, nil
 	}
-	i, err := strconv.Atoi(q)
+	i, err := strconv.Atoi(v)
 	if err != nil {
-		return 0, false, fmt.Errorf("bad shard %q", q)
+		return 0, false, fmt.Errorf("bad shard %q", v)
 	}
 	if i < 0 || i >= s.eng.NumShards() {
 		return 0, false, fmt.Errorf("shard %d out of range [0,%d)", i, s.eng.NumShards())
@@ -535,28 +636,102 @@ func (s *Server) shardParam(r *http.Request) (int, bool, error) {
 
 // byShardParam reports whether the request asked for the per-shard
 // breakdown (?by_shard, ?by_shard=1, ?by_shard=true).
-func byShardParam(r *http.Request) bool {
-	if !r.URL.Query().Has("by_shard") {
+func byShardParam(q url.Values) bool {
+	if !q.Has("by_shard") {
 		return false
 	}
-	v := r.URL.Query().Get("by_shard")
+	v := q.Get("by_shard")
 	return v == "" || v == "1" || v == "true"
 }
 
-// shardStatsOf summarizes one shard's snapshot.
-func shardStatsOf(i int, cond *core.Condensation) (shardStats, error) {
-	st := shardStats{Shard: i, Groups: cond.NumGroups(), Records: cond.TotalCount(), KSatisfied: true}
-	if cond.NumGroups() > 0 {
-		a, err := privacy.AuditGroups(cond.Groups(), cond.K())
-		if err != nil {
-			return st, err
-		}
-		st.MinGroupSize = a.MinSize
-		st.MaxGroupSize = a.MaxSize
-		st.AvgGroupSize = a.MeanSize
-		st.KSatisfied = a.Satisfied()
+// shardStatsFromSizes summarizes one shard from its live per-group
+// record counts alone — the moments-only size audit behind /v1/stats.
+// The k ≤ n(G) ≤ 2k−1 size invariant is fully checkable from the counts,
+// so no group statistics are cloned. An empty shard reports KSatisfied:
+// it holds no records whose indistinguishability could be violated.
+func shardStatsFromSizes(i, k int, sizes []int) shardStats {
+	st := shardStats{Shard: i, Groups: len(sizes), KSatisfied: true}
+	if len(sizes) == 0 {
+		return st
 	}
-	return st, nil
+	st.MinGroupSize = sizes[0]
+	for _, n := range sizes {
+		st.Records += n
+		if n < st.MinGroupSize {
+			st.MinGroupSize = n
+		}
+		if n > st.MaxGroupSize {
+			st.MaxGroupSize = n
+		}
+	}
+	st.AvgGroupSize = float64(st.Records) / float64(len(sizes))
+	st.KSatisfied = st.MinGroupSize >= k
+	return st
+}
+
+// statsLive assembles the stats response from live size data alone: one
+// ShardGroupSizes sweep per shard into a reused buffer, no group cloning
+// or snapshotting. Caller holds the read lock.
+func (s *Server) statsLive(byShard bool) statsResponse {
+	resp := statsResponse{
+		Dim:    s.dim,
+		K:      s.k,
+		Shards: s.eng.NumShards(),
+		Splits: s.eng.Splits(),
+	}
+	var sizes []int
+	for i := 0; i < resp.Shards; i++ {
+		sizes = s.eng.ShardGroupSizes(i, sizes)
+		st := shardStatsFromSizes(i, s.k, sizes)
+		resp.Groups += st.Groups
+		resp.Records += st.Records
+		if st.Groups > 0 {
+			if resp.MinGroupSize == 0 || st.MinGroupSize < resp.MinGroupSize {
+				resp.MinGroupSize = st.MinGroupSize
+			}
+			if st.MaxGroupSize > resp.MaxGroupSize {
+				resp.MaxGroupSize = st.MaxGroupSize
+			}
+		}
+		if byShard {
+			resp.ByShard = append(resp.ByShard, st)
+		}
+	}
+	if resp.Groups > 0 {
+		resp.AvgGroupSize = float64(resp.Records) / float64(resp.Groups)
+		resp.KSatisfied = resp.MinGroupSize >= s.k
+	}
+	return resp
+}
+
+// statsBody returns the encoded /v1/stats body (merged, optionally with
+// the per-shard breakdown), memoized per generation.
+func (s *Server) statsBody(byShard bool) (*respBody, error) {
+	for attempt := 0; ; attempt++ {
+		s.rlock()
+		gen := s.eng.Generation()
+		if b, ok := s.cache.statsAt(gen, byShard); ok {
+			s.runlock()
+			s.cmStats.hits.Inc()
+			return b, nil
+		}
+		resp := s.statsLive(byShard)
+		stable := s.eng.Generation() == gen
+		s.runlock()
+		s.cmStats.misses.Inc()
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(resp); err != nil {
+			return nil, err
+		}
+		body := newRespBody(buf.Bytes())
+		if stable {
+			s.cache.storeStats(gen, byShard, body)
+			return body, nil
+		}
+		if attempt >= 1 {
+			return body, nil
+		}
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -565,60 +740,78 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
-	shard, hasShard, err := s.shardParam(r)
+	q := queryParams(r)
+	shard, hasShard, err := s.shardParam(q)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	if hasShard {
-		// One shard's view alone, for per-shard dashboards and smoke checks.
+		// One shard's view alone, for per-shard dashboards and smoke
+		// checks — cheap enough (a size sweep) to always serve live.
 		s.rlock()
-		cond := s.eng.Shard(shard)
+		sizes := s.eng.ShardGroupSizes(shard, nil)
 		s.runlock()
-		st, err := shardStatsOf(shard, cond)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, st)
+		writeJSON(w, http.StatusOK, shardStatsFromSizes(shard, s.k, sizes))
 		return
 	}
-	cond := s.snapshot()
-	resp := statsResponse{
-		Dim:    cond.Dim(),
-		K:      cond.K(),
-		Shards: s.eng.NumShards(),
-		Groups: cond.NumGroups(), Records: cond.TotalCount(),
-		Splits: s.eng.Splits(),
+	body, err := s.statsBody(byShardParam(q))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
 	}
-	if cond.NumGroups() > 0 {
-		audit, err := privacy.AuditGroups(cond.Groups(), cond.K())
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		resp.MinGroupSize = audit.MinSize
-		resp.MaxGroupSize = audit.MaxSize
-		resp.AvgGroupSize = audit.MeanSize
-		resp.KSatisfied = audit.Satisfied()
-	}
-	if byShardParam(r) {
+	writePrepared(w, headerJSON, body)
+}
+
+// checkpointBody returns the prepared checkpoint of the current state and
+// whether its bytes are proven to be exactly the state at one generation
+// (and therefore cached and stamped with that generation's ETag). An
+// uncacheable body — a concurrent writer moved the engine mid-build on
+// both attempts — carries no validator.
+func (s *Server) checkpointBody() (body *respBody, cacheable bool, err error) {
+	for attempt := 0; ; attempt++ {
 		s.rlock()
-		shards := make([]*core.Condensation, s.eng.NumShards())
-		for i := range shards {
-			shards[i] = s.eng.Shard(i)
+		gen := s.eng.Generation()
+		if b, ok := s.cache.checkpointAt(gen); ok {
+			s.runlock()
+			s.cmCheckpoint.hits.Inc()
+			return b, true, nil
 		}
+		cond := s.eng.Condensation()
+		stable := s.eng.Generation() == gen
 		s.runlock()
-		for i, sc := range shards {
-			st, err := shardStatsOf(i, sc)
-			if err != nil {
-				writeError(w, http.StatusInternalServerError, err)
-				return
-			}
-			resp.ByShard = append(resp.ByShard, st)
+		s.cmCheckpoint.misses.Inc()
+		var buf bytes.Buffer
+		if _, err := cond.WriteTo(&buf); err != nil {
+			return nil, false, err
+		}
+		if stable {
+			b := newCheckpointBody(buf.Bytes(), gen)
+			s.cache.storeCheckpoint(gen, b)
+			return b, true, nil
+		}
+		if attempt >= 1 {
+			return newRespBody(buf.Bytes()), false, nil
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+}
+
+// etagMatch reports whether an If-None-Match header matches the given
+// entity tag, per RFC 9110 §13.1.2: "*" matches any representation, the
+// field is a comma-separated list, and comparison is weak — a W/ prefix
+// on either side is ignored, which is what If-None-Match specifies.
+func etagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	etag = strings.TrimPrefix(etag, "W/")
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		if cand == "*" || strings.TrimPrefix(cand, "W/") == etag {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
@@ -627,13 +820,23 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
-	cond := s.snapshot()
-	w.Header().Set("Content-Type", "application/octet-stream")
-	if _, err := cond.WriteTo(w); err != nil {
-		// Headers are already sent; nothing more we can do than drop the
-		// connection, which the client sees as a truncated body.
+	body, cacheable, err := s.checkpointBody()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	if cacheable {
+		// The generation names this exact byte stream, so it is a valid
+		// strong ETag: replica-style pollers send it back and pay one
+		// header round-trip while the state is unchanged. "Etag" is the
+		// canonical form net/http uses for this header.
+		w.Header()["Etag"] = body.etagH
+		if etagMatch(r.Header.Get("If-None-Match"), body.etag) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	writePrepared(w, headerOctet, body)
 }
 
 // healthResponse is the GET /healthz body: build identity plus live
@@ -649,6 +852,10 @@ type healthResponse struct {
 	Shards        int     `json:"shards"`
 	Groups        int     `json:"groups"`
 	Records       int     `json:"records"`
+	// Generation is the engine's mutation generation — the version key
+	// behind the checkpoint ETag, exposed so replicas can cheaply probe
+	// "did anything change" before fetching.
+	Generation uint64 `json:"generation"`
 }
 
 // buildVCS reads the VCS revision and commit time stamped into the binary
@@ -699,6 +906,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Shards:        s.eng.NumShards(),
 		Groups:        groups,
 		Records:       records,
+		Generation:    s.eng.Generation(),
 	})
 }
 
@@ -734,34 +942,86 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 // condensation (taken under the read lock) and publishes the result into
 // the server's metrics registry, so /v1/audit and /metrics always agree.
 // It is what the /v1/audit handler and condenserd's background auditor
-// both call.
+// both call. The computation is memoized per (generation, reservoir
+// offer count) — the complete input key of the deterministic audit — so
+// a periodic auditor over an idle engine replays the cached report; the
+// publish still runs per call, preserving the watchdog's view of audit
+// cadence, and the republished numbers are identical to a recompute.
 func (s *Server) Audit() (*audit.Report, error) {
-	cond := s.snapshot()
-	// Leftovers only arise when a static bootstrap folded sub-k remainders
-	// into nearest groups; the engine's counter carries that count forward.
-	leftovers := int(s.reg.Counter("condense_leftover_records_total").Value())
-	rep, err := audit.Compute(cond, audit.Config{
-		Original:  s.reservoir.Sample(),
-		SynthSeed: s.auditSeed,
-		Leftovers: leftovers,
-	})
+	e, err := s.auditPass()
 	if err != nil {
 		return nil, err
 	}
-	rep.Publish(s.reg)
-	// On a sharded engine, republish each shard's privacy-critical slice
-	// under shard="i" labels so the watchdog and dashboards can see which
-	// shard is degrading, not just that the merged numbers moved.
-	if n := s.eng.NumShards(); n >= 2 {
-		for i := 0; i < n; i++ {
-			sr, err := s.auditShard(i)
+	s.publishAudit(e)
+	return e.merged, nil
+}
+
+// publishAudit publishes one audit pass: the merged report, and on a
+// sharded engine each shard's privacy-critical slice under shard="i"
+// labels so the watchdog and dashboards can see which shard is
+// degrading, not just that the merged numbers moved.
+func (s *Server) publishAudit(e *auditEntry) {
+	e.merged.Publish(s.reg)
+	for i, sr := range e.shards {
+		sr.PublishShard(s.reg, i)
+	}
+}
+
+// auditPass returns the audit computation for the current (generation,
+// reservoir) state, computing and caching it on a miss. The reservoir's
+// offer count extends the memo key because the reservoir is fed after
+// the engine lock is released — the same generation can front two
+// different KS baselines while a batch's offers are still draining.
+func (s *Server) auditPass() (*auditEntry, error) {
+	for attempt := 0; ; attempt++ {
+		s.rlock()
+		gen := s.eng.Generation()
+		seen := s.reservoir.Seen()
+		if e, ok := s.cache.auditAt(gen, seen); ok {
+			s.runlock()
+			s.cmAudit.hits.Inc()
+			return e, nil
+		}
+		cond := s.eng.Condensation()
+		var shardConds []*core.Condensation
+		if n := s.eng.NumShards(); n >= 2 {
+			shardConds = make([]*core.Condensation, n)
+			for i := range shardConds {
+				shardConds[i] = s.eng.Shard(i)
+			}
+		}
+		sample := s.reservoir.Sample()
+		stable := s.eng.Generation() == gen && s.reservoir.Seen() == seen
+		s.runlock()
+		s.cmAudit.misses.Inc()
+		// Leftovers only arise when a static bootstrap folded sub-k
+		// remainders into nearest groups; the engine's counter carries
+		// that count forward.
+		leftovers := int(s.reg.Counter("condense_leftover_records_total").Value())
+		rep, err := audit.Compute(cond, audit.Config{
+			Original:  sample,
+			SynthSeed: s.auditSeed,
+			Leftovers: leftovers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e := &auditEntry{reservoirSeen: seen, merged: rep}
+		for _, sc := range shardConds {
+			sr, err := audit.Compute(sc, audit.Config{SynthSeed: s.auditSeed})
 			if err != nil {
 				return nil, err
 			}
-			sr.PublishShard(s.reg, i)
+			e.shards = append(e.shards, sr)
+		}
+		if stable {
+			s.cache.storeAudit(gen, e)
+			return e, nil
+		}
+		if attempt >= 1 {
+			return e, nil
 		}
 	}
-	return rep, nil
 }
 
 // auditShard audits one shard's snapshot in isolation: the same pooled
@@ -795,7 +1055,8 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
-	shard, hasShard, err := s.shardParam(r)
+	q := queryParams(r)
+	shard, hasShard, err := s.shardParam(q)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -809,21 +1070,30 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, shardAudit{Shard: shard, Report: rep})
 		return
 	}
-	rep, err := s.Audit()
+	e, err := s.auditPass()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	if !byShardParam(r) {
-		writeJSON(w, http.StatusOK, rep)
+	s.publishAudit(e)
+	if !byShardParam(q) {
+		writeJSON(w, http.StatusOK, e.merged)
 		return
 	}
-	resp := auditByShardResponse{Report: rep}
+	resp := auditByShardResponse{Report: e.merged}
 	for i := 0; i < s.eng.NumShards(); i++ {
-		sr, err := s.auditShard(i)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
+		// The memoized pass carries per-shard reports on a sharded
+		// engine; a single-shard engine computes its one shard live.
+		sr := (*audit.Report)(nil)
+		if i < len(e.shards) {
+			sr = e.shards[i]
+		} else {
+			var err error
+			sr, err = s.auditShard(i)
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, err)
+				return
+			}
 		}
 		resp.ByShard = append(resp.ByShard, shardAudit{Shard: i, Report: sr})
 	}
