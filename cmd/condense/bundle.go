@@ -1,0 +1,40 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// fetchBundle downloads a one-shot diagnostics bundle (GET /debug/bundle)
+// from a running condenserd and writes the tar.gz to path — the one
+// command an operator needs before attaching a bundle to a bug report. It
+// reuses the watch probe's bounded client: a diagnostics fetch that hangs
+// is itself a diagnosis.
+func fetchBundle(stderr io.Writer, base, path string) error {
+	url := strings.TrimRight(base, "/") + "/debug/bundle"
+	resp, err := watchClient.Get(url)
+	if err != nil {
+		return fmt.Errorf("probing %s: %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /debug/bundle: %s", resp.Status)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	n, err := io.Copy(f, resp.Body)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("downloading bundle: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote diagnostics bundle to %s (%d bytes)\n", path, n)
+	return nil
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fakeBundleDaemon serves a minimal but structurally valid diagnostics
+// bundle on /debug/bundle.
+func fakeBundleDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/bundle", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/gzip")
+		gz := gzip.NewWriter(w)
+		tw := tar.NewWriter(gz)
+		body := []byte(`{"status":"ok"}`)
+		tw.WriteHeader(&tar.Header{Name: "healthz.json", Mode: 0o644, Size: int64(len(body))})
+		tw.Write(body)
+		tw.Close()
+		gz.Close()
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestBundleFetch(t *testing.T) {
+	ts := fakeBundleDaemon(t)
+	out := filepath.Join(t.TempDir(), "diag.tar.gz")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-bundle", ts.URL, "-bundle-out", out}, nil, &stdout, &stderr); err != nil {
+		t.Fatalf("run -bundle: %v (stderr %q)", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "wrote diagnostics bundle to "+out) {
+		t.Errorf("no confirmation on stderr: %q", stderr.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatalf("downloaded bundle is not gzip: %v", err)
+	}
+	tr := tar.NewReader(gz)
+	hdr, err := tr.Next()
+	if err != nil {
+		t.Fatalf("downloaded bundle is not a tar: %v", err)
+	}
+	if hdr.Name != "healthz.json" {
+		t.Errorf("first entry %q, want healthz.json", hdr.Name)
+	}
+	if _, err := io.ReadAll(tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBundleFetchErrors(t *testing.T) {
+	// A daemon without the endpoint: the status line surfaces.
+	ts := httptest.NewServer(http.NotFoundHandler())
+	t.Cleanup(ts.Close)
+	out := filepath.Join(t.TempDir(), "diag.tar.gz")
+	err := run([]string{"-bundle", ts.URL, "-bundle-out", out}, nil, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("404 fetch error = %v, want the status surfaced", err)
+	}
+	if _, serr := os.Stat(out); serr == nil {
+		t.Error("a failed fetch left a bundle file behind")
+	}
+
+	// An unreachable daemon fails cleanly too.
+	if err := run([]string{"-bundle", "http://127.0.0.1:1", "-bundle-out", out}, nil, io.Discard, io.Discard); err == nil {
+		t.Fatal("unreachable daemon did not error")
+	}
+}

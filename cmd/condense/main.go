@@ -26,6 +26,9 @@
 //	-watch url      probe a running condenserd and print a one-shot
 //	                health/trend report instead of condensing (-watch-last
 //	                bounds the flight-recorder windows shown)
+//	-bundle url     fetch a diagnostics bundle (tar.gz) from a running
+//	                condenserd instead of condensing; -bundle-out names
+//	                the destination file (default condense-bundle.tar.gz)
 package main
 
 import (
@@ -71,6 +74,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		traceOut  = fs.String("trace-out", "", "write a Chrome trace-event file of the condensation pipeline")
 		watch     = fs.String("watch", "", "probe a running condenserd at this base URL and print a one-shot health/trend report (no -in/-out needed)")
 		watchLast = fs.Int("watch-last", 10, "flight-recorder windows to show in the -watch report")
+		bundle    = fs.String("bundle", "", "fetch a diagnostics bundle (GET /debug/bundle) from a running condenserd at this base URL and write it to -bundle-out (no -in/-out needed)")
+		bundleOut = fs.String("bundle-out", "condense-bundle.tar.gz", "destination file for the -bundle download")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +86,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 	if *watch != "" {
 		return watchReport(stdout, *watch, *watchLast)
+	}
+	if *bundle != "" {
+		return fetchBundle(stderr, *bundle, *bundleOut)
 	}
 	if *in == "" || *out == "" {
 		fs.Usage()

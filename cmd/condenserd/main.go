@@ -12,12 +12,13 @@
 //	condenserd -addr :8080 -dim 7 -debug-addr localhost:6060
 //	condenserd -addr :8080 -dim 7 -trace-sample 100 -trace-out trace.json
 //
-// Endpoints: POST /v1/records, GET /v1/snapshot, GET /v1/stats,
-// GET /v1/audit, GET /v1/checkpoint, GET /v1/history,
+// Endpoints: POST /v1/records, POST /v1/explain, GET /v1/snapshot,
+// GET /v1/stats, GET /v1/audit, GET /v1/checkpoint, GET /v1/history,
+// GET /v1/events, GET /v1/groups, GET /v1/groups/{id},
 // GET /v1/health/rules, GET /healthz, GET /metrics, GET /debug/vars,
-// GET /debug/trace (see internal/server). With -debug-addr set,
-// net/http/pprof profiling endpoints are served on that separate (ideally
-// loopback-only) address.
+// GET /debug/trace, GET /debug/bundle (see internal/server). With
+// -debug-addr set, net/http/pprof profiling endpoints are served on that
+// separate (ideally loopback-only) address.
 //
 // Reads are generation-versioned: the engine's mutation generation
 // (reported on /healthz) keys caches of group snapshots, synthesized
@@ -46,6 +47,19 @@
 // transition and counting escalations in condense_alerts_total{rule}. On
 // shutdown, -history-out writes the buffered windows plus final rule
 // states and a closing audit as JSON.
+//
+// A group-lifecycle journal (ring capacity -journal, default 4096; 0
+// disables it) records structured explainability events — group creation,
+// splits with parent→child lineage, router rebuilds, speculation
+// fallbacks, read-cache invalidations, watchdog transitions — served from
+// /v1/events. Per-group diagnostics (size, birth generation, lineage,
+// centroid drift, covariance condition number) are on /v1/groups and
+// /v1/groups/{id}; POST /v1/explain dry-runs routing for a record without
+// ingesting it. Every response carries an X-Request-Id (accepted from the
+// client or minted), echoed in error envelopes and ingest log lines.
+// GET /debug/bundle streams a one-shot tar.gz diagnostics snapshot;
+// -bundle-out writes the same bundle on shutdown, through the same
+// error-checked artifact path as -trace-out and -history-out.
 package main
 
 import (
@@ -124,6 +138,8 @@ func run(args []string, stderr io.Writer, serve func(ctx context.Context, addr s
 		scrapeEvery = fs.Duration("scrape-every", 10*time.Second, "flight-recorder scrape cadence (0 disables the recorder, the health watchdog, /v1/history, and /v1/health/rules)")
 		historyCap  = fs.Int("history", 0, "flight-recorder ring capacity in windows (0 = default 360)")
 		historyOut  = fs.String("history-out", "", "write the recorded windows, health-rule states, and a final audit as JSON on shutdown (re-enables the default -scrape-every if it was 0)")
+		journalCap  = fs.Int("journal", 4096, "group-lifecycle journal ring capacity in events (0 disables the journal, /v1/events, and the bundle's journal entry)")
+		bundleOut   = fs.String("bundle-out", "", "write a one-shot diagnostics bundle (tar.gz; same content as GET /debug/bundle) on shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -155,6 +171,10 @@ func run(args []string, stderr io.Writer, serve func(ctx context.Context, addr s
 		rec = telemetry.NewRecorder(reg, *historyCap)
 		wd = telemetry.NewWatchdog(reg, log, server.HealthRules(*shards)...)
 	}
+	var jr *telemetry.Journal
+	if *journalCap > 0 {
+		jr = telemetry.NewJournal(*journalCap)
+	}
 	cfg := server.Config{
 		Dim: *dim, Shards: *shards, MaxBatch: *batch,
 		Telemetry: reg, Logger: log,
@@ -163,6 +183,7 @@ func run(args []string, stderr io.Writer, serve func(ctx context.Context, addr s
 		AuditSeed:   *seed,
 		Recorder:    rec,
 		Watchdog:    wd,
+		Journal:     jr,
 	}
 	condenserK, condenserOpts := *k, core.Options{}
 	if *resume != "" {
@@ -244,32 +265,76 @@ func run(args []string, stderr io.Writer, serve func(ctx context.Context, addr s
 	cancelBG()
 	wg.Wait()
 
+	// Every shutdown artifact goes through one error-checked writer: all
+	// are attempted even if one fails, each outcome is logged, and the
+	// first failure surfaces as the process exit error (unless serving
+	// itself already failed).
+	var artifacts []shutdownArtifact
 	if *historyOut != "" && rec != nil {
-		if err := writeHistory(*historyOut, s, rec, wd, log); err != nil {
-			log.Error("writing history file", slog.String("error", err.Error()))
-			if serveErr == nil {
-				serveErr = err
-			}
-		} else {
-			log.Info("wrote history file",
-				slog.String("file", *historyOut),
-				slog.Int("windows", rec.Len()))
-		}
+		artifacts = append(artifacts, shutdownArtifact{
+			kind: "history", path: *historyOut,
+			write: func(w io.Writer) error { return renderHistory(w, s, rec, wd, log) },
+		})
 	}
 	if *traceOut != "" && tracer != nil {
-		if err := writeTrace(*traceOut, tracer); err != nil {
-			log.Error("writing trace file", slog.String("error", err.Error()))
-			if serveErr == nil {
-				serveErr = err
-			}
-		} else {
-			log.Info("wrote trace file",
-				slog.String("file", *traceOut),
-				slog.Int("spans", tracer.Len()),
-				slog.Uint64("dropped", tracer.Dropped()))
-		}
+		artifacts = append(artifacts, shutdownArtifact{
+			kind: "trace", path: *traceOut,
+			write: func(w io.Writer) error { return tracer.WriteChromeTrace(w, 0) },
+		})
+	}
+	if *bundleOut != "" {
+		artifacts = append(artifacts, shutdownArtifact{
+			kind: "bundle", path: *bundleOut, write: s.WriteBundle,
+		})
+	}
+	if err := writeShutdownArtifacts(artifacts, log); err != nil && serveErr == nil {
+		serveErr = err
 	}
 	return serveErr
+}
+
+// shutdownArtifact is one file the graceful-shutdown path owes the
+// operator: a kind for logging, a destination path, and a renderer that
+// streams the artifact into the created file.
+type shutdownArtifact struct {
+	kind  string
+	path  string
+	write func(io.Writer) error
+}
+
+// writeShutdownArtifacts writes each artifact through writeArtifactFile,
+// logs every outcome, and returns the first failure (later artifacts are
+// still attempted — a failing trace write must not cost the history file).
+func writeShutdownArtifacts(artifacts []shutdownArtifact, log *slog.Logger) error {
+	var first error
+	for _, a := range artifacts {
+		if err := writeArtifactFile(a.path, a.write); err != nil {
+			log.Error("writing "+a.kind+" file",
+				slog.String("file", a.path),
+				slog.String("error", err.Error()))
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		log.Info("wrote "+a.kind+" file", slog.String("file", a.path))
+	}
+	return first
+}
+
+// writeArtifactFile creates path and streams write into it, surfacing
+// every failure point: create, render, and close (the close error matters
+// — it is where a full disk shows up for buffered writes).
+func writeArtifactFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // auditLoop recomputes the privacy audit on a fixed cadence until the
@@ -309,12 +374,12 @@ type historyDump struct {
 	Windows []telemetry.Window     `json:"windows"`
 }
 
-// writeHistory takes one final scrape (so the file covers work done after
-// the last ticker fire), re-evaluates the watchdog, runs a closing audit,
-// and dumps everything to path as JSON. Audit failures (e.g. an empty
-// condensation) degrade to an audit-less file rather than losing the
-// windows.
-func writeHistory(path string, s *server.Server, rec *telemetry.Recorder, wd *telemetry.Watchdog, log *slog.Logger) error {
+// renderHistory takes one final scrape (so the file covers work done
+// after the last ticker fire), re-evaluates the watchdog, runs a closing
+// audit, and streams everything to w as JSON. Audit failures (e.g. an
+// empty condensation) degrade to an audit-less file rather than losing
+// the windows.
+func renderHistory(w io.Writer, s *server.Server, rec *telemetry.Recorder, wd *telemetry.Watchdog, log *slog.Logger) error {
 	rep, err := s.Audit()
 	if err != nil {
 		log.Warn("final audit failed", slog.String("error", err.Error()))
@@ -329,31 +394,9 @@ func writeHistory(path string, s *server.Server, rec *telemetry.Recorder, wd *te
 		Audit:   rep,
 		Windows: rec.Windows(0),
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(dump); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-// writeTrace dumps every span still in the tracer's ring to path as a
-// Chrome trace-event file (load it via chrome://tracing or Perfetto).
-func writeTrace(path string, tr *telemetry.Tracer) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := tr.WriteChromeTrace(f, 0); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return enc.Encode(dump)
 }
 
 // serveDebug exposes the net/http/pprof profiling handlers on their own

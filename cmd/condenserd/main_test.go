@@ -1,7 +1,9 @@
 package main
 
 import (
+	"archive/tar"
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"io"
@@ -17,6 +19,7 @@ import (
 	"condensation/internal/core"
 	"condensation/internal/mat"
 	"condensation/internal/rng"
+	"condensation/internal/telemetry"
 )
 
 // capture runs run() with a serve function that records the handler
@@ -512,5 +515,100 @@ func TestRunHistoryOut(t *testing.T) {
 	}
 	if _, err := os.Stat(path2); err != nil {
 		t.Errorf("history file not written when -history-out implied scraping: %v", err)
+	}
+}
+
+// TestRunBundleOut: -bundle-out writes a valid tar.gz diagnostics bundle
+// through the unified shutdown-artifact path, and /v1/events serves the
+// default-enabled lifecycle journal while the daemon runs.
+func TestRunBundleOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bundle.tar.gz")
+	err := serveWith(t, []string{"-dim", "2", "-k", "3", "-log-level", "off",
+		"-audit-every", "0", "-scrape-every", "0", "-bundle-out", path},
+		func(ts *httptest.Server) {
+			resp, err := http.Post(ts.URL+"/v1/records", "application/json",
+				bytes.NewReader([]byte(`{"records":[[1,2],[3,4],[5,6],[7,8]]}`)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			er, err := http.Get(ts.URL + "/v1/events")
+			if err != nil {
+				t.Fatal(err)
+			}
+			er.Body.Close()
+			if er.StatusCode != http.StatusOK {
+				t.Errorf("/v1/events with the default journal = %d, want 200", er.StatusCode)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("bundle file not written: %v", err)
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatalf("bundle is not gzip: %v", err)
+	}
+	tr := tar.NewReader(gz)
+	names := map[string]bool{}
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("bundle tar: %v", err)
+		}
+		names[hdr.Name] = true
+	}
+	for _, want := range []string{"healthz.json", "metrics.prom", "audit.json", "journal.json"} {
+		if !names[want] {
+			t.Errorf("bundle is missing %s (has %v)", want, names)
+		}
+	}
+
+	// -journal 0 disables the journal: /v1/events 404s and the bundle
+	// omits its entry.
+	err = serveWith(t, []string{"-dim", "2", "-k", "3", "-log-level", "off",
+		"-audit-every", "0", "-scrape-every", "0", "-journal", "0"},
+		func(ts *httptest.Server) {
+			resp, err := http.Get(ts.URL + "/v1/events")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusNotFound {
+				t.Errorf("/v1/events with -journal 0 = %d, want 404", resp.StatusCode)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteShutdownArtifacts: a failing artifact is logged, surfaces as
+// the returned error, and does not stop later artifacts from landing.
+func TestWriteShutdownArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.txt")
+	log, err := telemetry.NewLogger(io.Discard, "off", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := writeShutdownArtifacts([]shutdownArtifact{
+		{kind: "broken", path: filepath.Join(dir, "no-such-dir", "x"),
+			write: func(io.Writer) error { return nil }},
+		{kind: "good", path: good,
+			write: func(w io.Writer) error { _, err := w.Write([]byte("ok")); return err }},
+	}, log)
+	if werr == nil {
+		t.Fatal("first artifact's create failure not returned")
+	}
+	if data, err := os.ReadFile(good); err != nil || string(data) != "ok" {
+		t.Fatalf("later artifact not written after earlier failure: %v %q", err, data)
 	}
 }

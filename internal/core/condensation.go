@@ -31,6 +31,12 @@ type Condensation struct {
 	// tr records synthesis trace spans; nil disables tracing. Observe-only
 	// like met.
 	tr *telemetry.Tracer
+	// groupIDs, when set, annotates groups[i] with its stable engine group
+	// id (see Dynamic). Observe-only diagnostics metadata: it is not
+	// serialized into checkpoints and never influences synthesis. Snapshots
+	// taken from a static condensation (or restored from a checkpoint
+	// before any engine wraps them) carry no ids.
+	groupIDs []uint64
 }
 
 // newCondensation wraps a set of groups. The groups are owned by the
@@ -111,6 +117,18 @@ func (c *Condensation) Groups() []*stats.Group {
 		out[i] = g.Clone()
 	}
 	return out
+}
+
+// GroupIDs returns a copy of the stable engine group ids annotating the
+// groups, aligned with Groups()/Centroids() order, or nil when the
+// condensation was not snapshotted from an engine that assigns ids (static
+// condensations, freshly restored checkpoints). The ids are observe-only
+// lineage metadata — see Dynamic's id scheme.
+func (c *Condensation) GroupIDs() []uint64 {
+	if c.groupIDs == nil {
+		return nil
+	}
+	return append([]uint64(nil), c.groupIDs...)
 }
 
 // Centroids returns the centroid of every group.

@@ -41,6 +41,7 @@ type Condenser struct {
 	initial float64
 	tel     *telemetry.Registry // nil means telemetry disabled
 	trace   *telemetry.Tracer   // nil means tracing disabled
+	journal *telemetry.Journal  // nil means lifecycle journal disabled
 }
 
 // CondenserOption configures a Condenser.
@@ -126,6 +127,16 @@ func WithTracer(tr *telemetry.Tracer) CondenserOption {
 	return func(c *Condenser) { c.trace = tr }
 }
 
+// WithJournal attaches a group-lifecycle journal: dynamic engines built by
+// this Condenser then record structured foundings, splits (with
+// parent→child lineage), router rebuilds, and speculation fallbacks into
+// its ring. A nil journal (the default) disables recording. Like the
+// tracer, the journal is observe-only — it never touches the rng stream,
+// so condensed output is bit-identical either way.
+func WithJournal(j *telemetry.Journal) CondenserOption {
+	return func(c *Condenser) { c.journal = j }
+}
+
 // NewCondenser builds a Condenser with indistinguishability level k. The
 // zero configuration reproduces the paper; see the type documentation.
 func NewCondenser(k int, opts ...CondenserOption) (*Condenser, error) {
@@ -196,6 +207,7 @@ func (c *Condenser) Dynamic(dim int) (*Dynamic, error) {
 	d.setSearch(c.search)
 	d.SetTelemetry(c.tel)
 	d.SetTracer(c.trace)
+	d.SetJournal(c.journal)
 	return d, nil
 }
 
@@ -216,6 +228,7 @@ func (c *Condenser) DynamicFrom(initial *Condensation) (*Dynamic, error) {
 	d.setSearch(c.search)
 	d.SetTelemetry(c.tel)
 	d.SetTracer(c.trace)
+	d.SetJournal(c.journal)
 	return d, nil
 }
 
@@ -235,6 +248,7 @@ func (c *Condenser) Bootstrap(initial []mat.Vector) (*Dynamic, error) {
 	d.setSearch(c.search)
 	d.SetTelemetry(c.tel)
 	d.SetTracer(c.trace)
+	d.SetJournal(c.journal)
 	return d, nil
 }
 

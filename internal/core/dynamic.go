@@ -56,6 +56,25 @@ type Dynamic struct {
 	scratch batchScratch     // reusable AddBatch buffers
 	eig     mat.EigenScratch // reusable split eigensolve workspaces
 
+	// Stable group identity and lineage, maintained in parallel with
+	// groups/centroids: ids[i] is slot i's stable group id and births[i]
+	// its birth annotation. Ids are allocated monotonically under idBase —
+	// the per-shard partition of the id space a Sharded installs (see
+	// groupIDShardShift) — so ids are unique engine-wide and never reused
+	// after a split retires them. All of it is observe-only: ids never
+	// influence routing, splits, or the rng stream, and they are not
+	// serialized into checkpoints (a resumed engine renumbers from scratch).
+	ids    []uint64
+	births []groupBirth
+	idBase uint64
+	idSeq  uint64
+
+	// shardIndex is this engine's position in a Sharded (0 standalone);
+	// it stamps journal events and group diagnostics. jr is the lifecycle
+	// journal; nil (the default) disables it at one nil check per site.
+	shardIndex int
+	jr         *telemetry.Journal
+
 	// gen is the engine's mutation generation: a monotone counter advanced
 	// before every state-changing apply and untouched by reads. The shards
 	// of one Sharded share a single counter, so a generation value names a
@@ -72,11 +91,68 @@ type Dynamic struct {
 	// the last Condensation call, valid while lastMut still equals snapGen.
 	// Writers never touch it (they only advance the generation — copy on
 	// write-invalidate, not copy on read); concurrent readers racing to
-	// rebuild it under the caller's read lock serialize on snapMu.
+	// rebuild it under the caller's read lock serialize on snapMu. snapIDs
+	// is the ids slice frozen with the clones, annotated onto snapshots.
 	snapMu     sync.Mutex
 	snapGen    uint64
 	snapGroups []*stats.Group
+	snapIDs    []uint64
 }
+
+// groupBirth is one group slot's observe-only birth annotation: the
+// mutation generation it was created at, the id of the split parent it was
+// born from (0 for founded or initial groups), and its centroid at birth —
+// the reference point per-group drift diagnostics measure against.
+type groupBirth struct {
+	gen      uint64
+	parent   uint64
+	centroid mat.Vector
+}
+
+// groupIDShardShift partitions the 64-bit group-id space per shard: shard
+// i allocates ids under base i<<48, so ids from different shards can never
+// collide and the owning shard is recoverable as id>>48. 2^48 ids per
+// shard outlasts any realistic stream; 2^16 shards outlasts any machine.
+const groupIDShardShift = 48
+
+// allocID hands out the next stable group id under this engine's base.
+// Ids are 1-based within the shard so 0 stays the "no parent" sentinel.
+func (d *Dynamic) allocID() uint64 {
+	d.idSeq++
+	return d.idBase | d.idSeq
+}
+
+// annotate registers identity and birth for a group slot just appended to
+// d.groups: a fresh id, the current mutation generation, the given split
+// parent (0 when founded), and a clone of the group's centroid.
+func (d *Dynamic) annotate(parent uint64, centroid mat.Vector) uint64 {
+	id := d.allocID()
+	d.ids = append(d.ids, id)
+	d.births = append(d.births, groupBirth{gen: d.lastMut, parent: parent, centroid: centroid.Clone()})
+	return id
+}
+
+// rebaseIDs moves the engine's id space under base, renumbering any groups
+// annotated before the base was known (the initial deal of ShardedFrom
+// constructs each shard's Dynamic first). Called once at construction,
+// before any record is ingested.
+func (d *Dynamic) rebaseIDs(base uint64) {
+	d.idBase = base
+	d.idSeq = 0
+	for i := range d.ids {
+		d.idSeq++
+		d.ids[i] = base | d.idSeq
+	}
+}
+
+// SetJournal attaches a group-lifecycle journal: group foundings, splits
+// (with parent→child lineage), router rebuilds, and speculation fallbacks
+// are then recorded as structured events stamped with this engine's shard
+// index and the triggering mutation generation. A nil journal (the
+// default) disables recording at one nil check per event site. The journal
+// is observe-only — it never touches the rng stream or the group moments,
+// so condensed output is bit-identical with it on or off.
+func (d *Dynamic) SetJournal(j *telemetry.Journal) { d.jr = j }
 
 // bump advances the mutation generation at the start of a state change,
 // so a generation-keyed cache can never mistake a pre-mutation snapshot
@@ -148,6 +224,7 @@ func NewDynamic(initial *Condensation, r *rng.Source) (*Dynamic, error) {
 		}
 		d.centroids[i] = m
 		d.total += g.N()
+		d.annotate(0, m)
 	}
 	d.initRouter()
 	return d, nil
@@ -273,11 +350,21 @@ func (d *Dynamic) found(x mat.Vector) error {
 		return err
 	}
 	d.centroids = append(d.centroids, m)
-	d.router.add(0)
+	id := d.annotate(0, m)
+	d.router.add(len(d.groups) - 1)
 	d.total++
 	d.met.streamRecords.Inc()
 	d.met.groupsFormed.Inc()
-	d.met.groups.Set(1)
+	d.met.groups.Set(float64(len(d.groups)))
+	if d.jr != nil {
+		d.jr.Record(telemetry.JournalEvent{
+			Type:       telemetry.EventGroupCreated,
+			Shard:      d.shardIndex,
+			Generation: d.lastMut,
+			Group:      id,
+			Detail:     "first stream record founded a group",
+		})
+	}
 	return nil
 }
 
@@ -324,6 +411,7 @@ func (d *Dynamic) ingest(best int, x mat.Vector, sp *telemetry.Span) error {
 		if err != nil {
 			return fmt.Errorf("core: splitting group %d: %w", best, err)
 		}
+		parentID := d.ids[best]
 		d.groups[best] = m1
 		if err := m1.MeanInto(d.centroids[best]); err != nil {
 			return err
@@ -335,8 +423,25 @@ func (d *Dynamic) ingest(best int, x mat.Vector, sp *telemetry.Span) error {
 		}
 		d.groups = append(d.groups, m2)
 		d.centroids = append(d.centroids, c2)
+		// The parent id retires with the split; both halves are new groups
+		// with fresh ids and lineage back to the parent.
+		id1 := d.allocID()
+		d.ids[best] = id1
+		d.births[best] = groupBirth{gen: d.lastMut, parent: parentID, centroid: d.centroids[best].Clone()}
+		id2 := d.annotate(parentID, c2)
 		d.router.add(len(d.groups) - 1)
 		d.maybePromote()
+		if d.jr != nil {
+			d.jr.Record(telemetry.JournalEvent{
+				Type:       telemetry.EventSplit,
+				Shard:      d.shardIndex,
+				Generation: d.lastMut,
+				Group:      parentID,
+				Parent:     parentID,
+				Children:   []uint64{id1, id2},
+				Detail:     fmt.Sprintf("group reached %d records (2k) and split into %d + %d", 2*d.k, m1.N(), m2.N()),
+			})
+		}
 		splitSpan.End()
 		if d.met.enabled {
 			d.met.split.ObserveSince(t0)
@@ -389,14 +494,17 @@ func (d *Dynamic) Condensation() *Condensation {
 			groups[i] = g.Clone()
 		}
 		d.snapGroups = groups
+		d.snapIDs = append([]uint64(nil), d.ids...)
 		d.snapGen = d.lastMut
 		d.met.snapMisses.Inc()
 	} else {
 		d.met.snapHits.Inc()
 	}
 	groups := d.snapGroups
+	ids := d.snapIDs
 	d.snapMu.Unlock()
 	cond := newCondensation(d.dim, d.k, d.opts, groups)
+	cond.groupIDs = ids
 	cond.met = d.met
 	cond.tr = d.tr
 	return cond

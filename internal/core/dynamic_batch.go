@@ -8,6 +8,7 @@ import (
 	"condensation/internal/kernel"
 	"condensation/internal/mat"
 	"condensation/internal/par"
+	"condensation/internal/telemetry"
 )
 
 // batchScratch holds AddBatch's reusable buffers so steady-state batch
@@ -135,6 +136,7 @@ func (d *Dynamic) AddBatchContext(ctx context.Context, records []mat.Vector) err
 	changed := d.scratch.changed[:0]
 	changedFlat := d.scratch.changedFlat[:0]
 	applied := 0
+	fallbacks := 0
 	var searchDur time.Duration
 	defer func() {
 		// Splits may have grown the slices past their scratch capacity;
@@ -149,6 +151,15 @@ func (d *Dynamic) AddBatchContext(ctx context.Context, records []mat.Vector) err
 		applySpan.SetAttrInt("applied", applied)
 		applySpan.End()
 		specSpan.End()
+		if d.jr != nil && fallbacks > 0 {
+			// One event per batch, not per record: the count is the story.
+			d.jr.Record(telemetry.JournalEvent{
+				Type:       telemetry.EventSpecFallback,
+				Shard:      d.shardIndex,
+				Generation: d.lastMut,
+				Detail:     fmt.Sprintf("%d of %d applied records re-routed live after their speculated group changed mid-window", fallbacks, applied),
+			})
+		}
 	}()
 	dim := d.dim
 	for wlo := 0; wlo < len(batch); wlo += speculationWindow {
@@ -198,6 +209,7 @@ func (d *Dynamic) AddBatchContext(ctx context.Context, records []mat.Vector) err
 				// The candidate group moved or split since speculation;
 				// its stored distance is stale, so re-route live.
 				best, _ = d.router.nearest(x)
+				fallbacks++
 			} else {
 				// The candidate still holds the lexicographic minimum
 				// over every unchanged group; only groups changed during

@@ -6,6 +6,7 @@ import (
 	"condensation/internal/kernel"
 	"condensation/internal/knn"
 	"condensation/internal/mat"
+	"condensation/internal/telemetry"
 )
 
 // dynamicIndexCutoff is the group count at which SearchAuto stops scanning
@@ -141,6 +142,14 @@ func (d *Dynamic) initRouter() {
 		d.router = newScanRouter(d)
 	}
 	d.met.withSearchBackend(d.tel, d.router.label(), d.telLabels...)
+	if d.jr != nil {
+		d.jr.Record(telemetry.JournalEvent{
+			Type:       telemetry.EventIndexRebuild,
+			Shard:      d.shardIndex,
+			Generation: d.lastMut,
+			Detail:     fmt.Sprintf("router rebuilt as %s over %d centroids", d.router.label(), len(d.centroids)),
+		})
+	}
 }
 
 // maybePromote upgrades an auto-configured scan router to the kd-index
@@ -154,6 +163,14 @@ func (d *Dynamic) maybePromote() {
 	if _, isScan := d.router.(*scanRouter); isScan {
 		d.router = newKDRouter(d)
 		d.met.withSearchBackend(d.tel, d.router.label(), d.telLabels...)
+		if d.jr != nil {
+			d.jr.Record(telemetry.JournalEvent{
+				Type:       telemetry.EventIndexRebuild,
+				Shard:      d.shardIndex,
+				Generation: d.lastMut,
+				Detail:     fmt.Sprintf("auto-promoted scan to %s at %d groups", d.router.label(), len(d.groups)),
+			})
+		}
 	}
 }
 

@@ -85,10 +85,33 @@ type Engine interface {
 	// must wrap calls in their own mutex (the server does).
 	Synchronized() bool
 
+	// GroupInfos appends every live group's lifecycle summary (stable id,
+	// shard, size, birth generation, split parent, centroid drift) to buf
+	// (resliced to zero length first) and returns it, in stable
+	// shard-then-slot order. Pure read: on a non-synchronized engine it
+	// needs the caller's read lock, like Condensation.
+	GroupInfos(buf []GroupInfo) []GroupInfo
+	// GroupByID returns the diagnostics detail of the live group with the
+	// given stable id, or ok=false when no such group exists (retired by a
+	// split, never allocated, or wrong shard bits). Pure read.
+	GroupByID(id uint64) (GroupDetail, bool)
+	// Explain dry-runs routing one record without ingesting it: the shard
+	// it would route to, the top candidate groups in exact (distance, id)
+	// order, and the absorb/split/found outcome. Strictly side-effect-free
+	// — engine state, rng stream, and checkpoint bytes are bit-identical
+	// whether Explain ran or not. Pure read.
+	Explain(x mat.Vector, top int) (*Explanation, error)
+
 	// SetTelemetry attaches a metrics registry (nil disables recording).
 	SetTelemetry(reg *telemetry.Registry)
 	// SetTracer attaches a span tracer (nil disables tracing).
 	SetTracer(tr *telemetry.Tracer)
+	// SetJournal attaches a group-lifecycle journal recording structured
+	// events (foundings, splits with lineage, router rebuilds, speculation
+	// fallbacks) stamped with shard and generation. Nil (the default)
+	// disables recording at one nil check per event site; the journal is
+	// observe-only, so condensed output is bit-identical either way.
+	SetJournal(j *telemetry.Journal)
 	// SetNeighborSearch selects the nearest-centroid routing backend.
 	SetNeighborSearch(s NeighborSearch) error
 	// SetParallelism bounds the worker goroutines of batch speculation;

@@ -132,16 +132,33 @@ func (c *Condenser) ShardedFrom(initial *Condensation, shards int) (*Sharded, er
 }
 
 // finish wires the Condenser's observability, shares one mutation
-// generation counter across the shards, and divides the speculation
-// parallelism across them.
+// generation counter across the shards, partitions the group-id space per
+// shard, and divides the speculation parallelism across them.
 func (s *Sharded) finish(c *Condenser) {
 	s.gen = new(atomic.Uint64)
-	for _, sh := range s.shards {
+	for i, sh := range s.shards {
 		sh.dyn.gen = s.gen
+		// Shard i allocates stable group ids under base i<<48, so ids from
+		// different shards can never collide and GroupByID recovers the
+		// owning shard from the id alone. ShardedFrom annotated its initial
+		// deal before the bases were known; rebase renumbers it.
+		sh.dyn.shardIndex = i
+		sh.dyn.rebaseIDs(uint64(i) << groupIDShardShift)
 	}
 	s.SetParallelism(c.search.Parallelism)
 	s.SetTelemetry(c.tel)
 	s.SetTracer(c.trace)
+	s.SetJournal(c.journal)
+}
+
+// SetJournal attaches a group-lifecycle journal to every shard; events are
+// stamped with the emitting shard's index. Nil disables recording.
+func (s *Sharded) SetJournal(j *telemetry.Journal) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.dyn.SetJournal(j)
+		sh.mu.Unlock()
+	}
 }
 
 // shardSources derives one rng stream per shard: shard 0 takes the master
@@ -404,13 +421,16 @@ func (s *Sharded) AddBatchContext(ctx context.Context, records []mat.Vector) err
 // a global point-in-time cut.
 func (s *Sharded) Condensation() *Condensation {
 	var groups []*stats.Group
+	var ids []uint64
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 		cond := sh.dyn.Condensation()
 		sh.mu.RUnlock()
 		groups = append(groups, cond.groups...)
+		ids = append(ids, cond.groupIDs...)
 	}
 	merged := newCondensation(s.dim, s.k, s.opts, groups)
+	merged.groupIDs = ids
 	merged.met = s.met
 	merged.tr = s.tr
 	return merged

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"condensation/internal/core"
+	"condensation/internal/mat"
+	"condensation/internal/telemetry"
+)
+
+// This file serves the explainability layer: the group-lifecycle journal
+// (/v1/events), per-group diagnostics (/v1/groups, /v1/groups/{id}), and
+// the routing dry-run (/v1/explain). All of it is read-only against the
+// engine — explain in particular is proven side-effect-free, so operators
+// can probe a live daemon under ingest without perturbing its state.
+
+// eventsResponse is the GET /v1/events body: the journal tail oldest
+// first, plus the ring geometry so clients know the retention horizon.
+type eventsResponse struct {
+	Capacity int                      `json:"capacity"`
+	Recorded uint64                   `json:"recorded"`
+	Dropped  uint64                   `json:"dropped"`
+	Events   []telemetry.JournalEvent `json:"events"`
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	if s.jr == nil {
+		writeError(w, http.StatusNotFound,
+			errors.New("lifecycle journal not enabled (start with -journal > 0)"))
+		return
+	}
+	q := queryParams(r)
+	last := 0
+	if v := q.Get("last"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad last %q", v))
+			return
+		}
+		last = n
+	}
+	var types []string
+	if v := q.Get("type"); v != "" {
+		types = strings.Split(v, ",")
+		for _, t := range types {
+			if !validEventType(t) {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("unknown event type %q", t))
+				return
+			}
+		}
+	}
+	events := s.jr.Events(last, types...)
+	if events == nil {
+		events = []telemetry.JournalEvent{}
+	}
+	writeJSON(w, http.StatusOK, eventsResponse{
+		Capacity: s.jr.Capacity(),
+		Recorded: s.jr.Seq(),
+		Dropped:  s.jr.Dropped(),
+		Events:   events,
+	})
+}
+
+// validEventType guards the ?type= filter against typos: a filter naming
+// no known event kind would silently return nothing, the same trap the
+// history selector validation closes.
+func validEventType(t string) bool {
+	switch t {
+	case telemetry.EventGroupCreated, telemetry.EventSplit,
+		telemetry.EventIndexRebuild, telemetry.EventSpecFallback,
+		telemetry.EventCacheInvalidation, telemetry.EventWatchdogTransition:
+		return true
+	}
+	return false
+}
+
+// groupsResponse is the GET /v1/groups body.
+type groupsResponse struct {
+	Generation uint64           `json:"generation"`
+	Groups     []core.GroupInfo `json:"groups"`
+}
+
+func (s *Server) handleGroups(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	s.rlock()
+	gen := s.eng.Generation()
+	infos := s.eng.GroupInfos(nil)
+	s.runlock()
+	if infos == nil {
+		infos = []core.GroupInfo{}
+	}
+	writeJSON(w, http.StatusOK, groupsResponse{Generation: gen, Groups: infos})
+}
+
+func (s *Server) handleGroupByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	raw := strings.TrimPrefix(r.URL.Path, "/v1/groups/")
+	id, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad group id %q", raw))
+		return
+	}
+	s.rlock()
+	det, ok := s.eng.GroupByID(id)
+	s.runlock()
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("no live group with id %d (retired by a split, or never allocated)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, det)
+}
+
+// explainRequest is the POST /v1/explain body.
+type explainRequest struct {
+	// Record is the stream record to dry-run routing for; it is never
+	// ingested.
+	Record []float64 `json:"record"`
+	// Top bounds the reported candidate list (0 means the default).
+	Top int `json:"top"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req explainRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	if req.Record == nil {
+		writeError(w, http.StatusBadRequest, errors.New("no record in request"))
+		return
+	}
+	s.rlock()
+	ex, err := s.eng.Explain(mat.Vector(req.Record), req.Top)
+	s.runlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ex)
+}

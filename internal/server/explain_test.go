@@ -1,0 +1,374 @@
+package server
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+
+	"condensation/internal/core"
+	"condensation/internal/telemetry"
+)
+
+// newExplainServer builds a server with the lifecycle journal attached
+// (plus any extra config the caller mutates in).
+func newExplainServer(t *testing.T, shards int, mutate func(*Config)) (*httptest.Server, *telemetry.Journal) {
+	t.Helper()
+	jr := telemetry.NewJournal(512)
+	condenser, err := core.NewCondenser(5, core.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Dim: 2, Condenser: condenser, Shards: shards, Journal: jr}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	testServers[ts.URL] = s
+	t.Cleanup(func() {
+		delete(testServers, ts.URL)
+		ts.Close()
+	})
+	return ts, jr
+}
+
+func TestEventsEndpoint(t *testing.T) {
+	ts, _ := newExplainServer(t, 1, nil)
+	postRecords(t, ts, genRecords(71, 120))
+
+	var er eventsResponse
+	if resp := getJSON(t, ts.URL+"/v1/events", &er); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/events: %d", resp.StatusCode)
+	}
+	if er.Capacity != 512 || er.Recorded == 0 || len(er.Events) == 0 {
+		t.Fatalf("events response %+v", er)
+	}
+	kinds := map[string]int{}
+	for _, e := range er.Events {
+		kinds[e.Type]++
+	}
+	if kinds[telemetry.EventGroupCreated] == 0 || kinds[telemetry.EventSplit] == 0 {
+		t.Fatalf("120 records recorded no creations or splits: %v", kinds)
+	}
+
+	var filtered eventsResponse
+	getJSON(t, ts.URL+"/v1/events?type=split&last=2", &filtered)
+	if len(filtered.Events) > 2 {
+		t.Fatalf("last=2 returned %d events", len(filtered.Events))
+	}
+	for _, e := range filtered.Events {
+		if e.Type != telemetry.EventSplit {
+			t.Fatalf("type=split returned %q", e.Type)
+		}
+	}
+
+	for path, want := range map[string]int{
+		"/v1/events?type=splitz":  http.StatusBadRequest,
+		"/v1/events?last=-1":      http.StatusBadRequest,
+		"/v1/events?last=bogus":   http.StatusBadRequest,
+		"/v1/events?type=split,x": http.StatusBadRequest,
+	} {
+		if resp := getJSON(t, ts.URL+path, nil); resp.StatusCode != want {
+			t.Errorf("GET %s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+func TestEventsDisabled(t *testing.T) {
+	ts := newTestServer(t, 5) // no journal configured
+	resp := getJSON(t, ts.URL+"/v1/events", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("journal-less /v1/events: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestGroupsEndpoints(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			ts, _ := newExplainServer(t, shards, nil)
+			postRecords(t, ts, genRecords(73, 150))
+
+			var gr groupsResponse
+			if resp := getJSON(t, ts.URL+"/v1/groups", &gr); resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET /v1/groups: %d", resp.StatusCode)
+			}
+			if len(gr.Groups) == 0 {
+				t.Fatal("no groups after 150 records")
+			}
+			ids := map[uint64]bool{}
+			for _, gi := range gr.Groups {
+				if gi.ID == 0 || ids[gi.ID] {
+					t.Fatalf("bad or duplicate id in %+v", gi)
+				}
+				ids[gi.ID] = true
+			}
+
+			var det core.GroupDetail
+			first := gr.Groups[0]
+			url := fmt.Sprintf("%s/v1/groups/%d", ts.URL, first.ID)
+			if resp := getJSON(t, url, &det); resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s: %d", url, resp.StatusCode)
+			}
+			if det.ID != first.ID || det.Size != first.Size || len(det.Centroid) != 2 {
+				t.Fatalf("detail %+v does not match summary %+v", det, first)
+			}
+
+			if resp := getJSON(t, ts.URL+"/v1/groups/999999999", nil); resp.StatusCode != http.StatusNotFound {
+				t.Fatalf("unknown id: status %d, want 404", resp.StatusCode)
+			}
+			if resp := getJSON(t, ts.URL+"/v1/groups/banana", nil); resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("malformed id: status %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	ts, _ := newExplainServer(t, 1, nil)
+	postRecords(t, ts, genRecords(79, 100))
+
+	post := func(body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/explain", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, b
+	}
+
+	resp, body := post(`{"record": [0.25, -0.5], "top": 3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/explain: %d\n%s", resp.StatusCode, body)
+	}
+	var ex core.Explanation
+	if err := json.Unmarshal(body, &ex); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Outcome != core.ExplainAbsorb && ex.Outcome != core.ExplainSplit {
+		t.Fatalf("outcome %q on a populated engine", ex.Outcome)
+	}
+	if ex.Routed == nil || len(ex.Candidates) == 0 || len(ex.Candidates) > 3 {
+		t.Fatalf("explanation %+v", ex)
+	}
+	if ex.Routed.ID != ex.Candidates[0].ID {
+		t.Fatal("routed is not the first candidate")
+	}
+
+	for body, want := range map[string]int{
+		`{"record": [1.0]}`:                  http.StatusBadRequest, // wrong dim
+		`{}`:                                 http.StatusBadRequest, // no record
+		`{"record": [1, 2], "extra": true}`:  http.StatusBadRequest, // unknown field
+		`not json`:                           http.StatusBadRequest,
+		`{"record": [1e308, 1e308], "x":[]}`: http.StatusBadRequest,
+	} {
+		if resp, b := post(body); resp.StatusCode != want {
+			t.Errorf("POST %s: status %d, want %d\n%s", body, resp.StatusCode, want, b)
+		}
+	}
+	if resp := getJSON(t, ts.URL+"/v1/explain", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/explain: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestRequestIDEchoAndMint(t *testing.T) {
+	ts, _ := newExplainServer(t, 1, nil)
+
+	// A valid client id is echoed verbatim.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/stats", nil)
+	req.Header.Set("X-Request-ID", "client-abc-123")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "client-abc-123" {
+		t.Fatalf("echoed request id %q, want client-abc-123", got)
+	}
+
+	// No id (and an invalid one) gets a fresh mint, distinct per request.
+	minted := map[string]bool{}
+	for _, hdr := range []string{"", "has space", strings.Repeat("x", 200)} {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/stats", nil)
+		if hdr != "" {
+			req.Header.Set("X-Request-ID", hdr)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		id := resp.Header.Get("X-Request-ID")
+		if id == "" || id == hdr {
+			t.Fatalf("invalid client id %q was not replaced (got %q)", hdr, id)
+		}
+		if minted[id] {
+			t.Fatalf("request id %q minted twice", id)
+		}
+		minted[id] = true
+	}
+
+	// Error envelopes carry the id for correlation.
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/v1/groups/banana", nil)
+	req.Header.Set("X-Request-ID", "corr-404")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.RequestID != "corr-404" {
+		t.Fatalf("error envelope request_id %q, want corr-404", env.RequestID)
+	}
+}
+
+func TestBundleEndpoint(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	rec := telemetry.NewRecorder(reg, 16)
+	wd := telemetry.NewWatchdog(reg, nil, HealthRules(1)...)
+	tr := telemetry.NewTracer(0, 1)
+	ts, _ := newExplainServer(t, 1, func(cfg *Config) {
+		cfg.Telemetry = reg
+		cfg.Recorder = rec
+		cfg.Watchdog = wd
+		cfg.Tracer = tr
+	})
+	postRecords(t, ts, genRecords(83, 80))
+	rec.Scrape()
+
+	resp, err := http.Get(ts.URL + "/debug/bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/bundle: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/gzip" {
+		t.Fatalf("bundle content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := bundleEntries(t, raw)
+	want := []string{
+		"audit.json", "buildinfo.txt", "goroutines.txt", "health_rules.json",
+		"healthz.json", "heap.pprof", "history.json", "journal.json",
+		"metrics.prom", "trace.json",
+	}
+	if !equalStrings(names, want) {
+		t.Fatalf("bundle entries %v, want %v", names, want)
+	}
+
+	// The journal entry must decode back to real events.
+	var er eventsResponse
+	if err := json.Unmarshal(bundleEntry(t, raw, "journal.json"), &er); err != nil {
+		t.Fatal(err)
+	}
+	if len(er.Events) == 0 {
+		t.Fatal("bundle journal.json has no events")
+	}
+}
+
+// TestBundleMinimal: with every optional subsystem off, the bundle still
+// ships the unconditional entries and nothing else.
+func TestBundleMinimal(t *testing.T) {
+	ts := newTestServer(t, 5)
+	resp, err := http.Get(ts.URL + "/debug/bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := bundleEntries(t, raw)
+	want := []string{
+		"audit.json", "buildinfo.txt", "goroutines.txt",
+		"healthz.json", "heap.pprof", "metrics.prom",
+	}
+	if !equalStrings(names, want) {
+		t.Fatalf("minimal bundle entries %v, want %v", names, want)
+	}
+}
+
+func bundleEntries(t *testing.T, raw []byte) []string {
+	t.Helper()
+	gz, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tar.NewReader(gz)
+	var names []string
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, hdr.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func bundleEntry(t *testing.T, raw []byte, name string) []byte {
+	t.Helper()
+	gz, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hdr.Name == name {
+			b, err := io.ReadAll(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		}
+	}
+	t.Fatalf("bundle has no entry %q", name)
+	return nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

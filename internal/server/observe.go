@@ -151,9 +151,21 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 		}
 		last = v
 	}
-	windows := s.rec.Windows(last)
+	var selectors []string
 	if q := r.URL.Query().Get("series"); q != "" {
-		selectors := strings.Split(q, ",")
+		// Validate the selectors against the live registry before filtering:
+		// a selector matching no registered series used to silently return
+		// empty windows, which reads exactly like "nothing was recorded".
+		// Naming the unknown selectors instead turns a typo into a 400.
+		selectors = strings.Split(q, ",")
+		if unknown := s.unknownSelectors(selectors); len(unknown) > 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("unknown series selector(s): %s", strings.Join(unknown, ", ")))
+			return
+		}
+	}
+	windows := s.rec.Windows(last)
+	if selectors != nil {
 		for i, win := range windows {
 			windows[i] = telemetry.FilterWindow(win, selectors)
 		}
@@ -163,6 +175,29 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 		Recorded: s.rec.Seq(),
 		Windows:  windows,
 	})
+}
+
+// unknownSelectors returns the history selectors matching no series in the
+// live registry, using exactly FilterWindow's match semantics: a selector
+// matches a series whose id equals it (bare name or full name{labels}
+// form) or whose id is the selector name followed by a label block.
+func (s *Server) unknownSelectors(selectors []string) []string {
+	snap := s.reg.Snapshot()
+	var unknown []string
+	for _, sel := range selectors {
+		found := false
+		for i := range snap {
+			id := snap[i].ID()
+			if id == sel || strings.HasPrefix(id, sel+"{") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			unknown = append(unknown, sel)
+		}
+	}
+	return unknown
 }
 
 // healthRulesResponse is the GET /v1/health/rules body.

@@ -2,10 +2,12 @@ package server
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"sync"
 	"testing"
@@ -115,6 +117,66 @@ func TestHistoryEndpoint(t *testing.T) {
 	if resp := getJSON(t, o.ts.URL+"/v1/history?last=x", nil); resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad last = %d, want 400", resp.StatusCode)
 	}
+}
+
+// TestHistorySeriesValidation: a ?series selector matching nothing in the
+// live registry used to silently return empty windows — exactly what
+// "nothing was recorded" looks like. It is a 400 naming the unknown
+// selectors now; selectors matching registered series (bare-name or
+// labelled-family form) still pass.
+func TestHistorySeriesValidation(t *testing.T) {
+	o := newObservedServer(t, 1)
+	postRecords(t, o.ts, genRecords(1, 60))
+	o.rec.Scrape()
+
+	for _, tc := range []struct {
+		name    string
+		query   string
+		status  int
+		wantErr string
+	}{
+		{"bare gauge name", "series=condense_groups", http.StatusOK, ""},
+		{"labelled family by bare name", "series=http_requests_total", http.StatusOK, ""},
+		{"exact labelled id", `series=http_request_seconds{path="/v1/records"}`, http.StatusOK, ""},
+		{"two known selectors", "series=condense_groups,condense_groups_formed_total", http.StatusOK, ""},
+		{"typo", "series=condense_gruops", http.StatusBadRequest, "condense_gruops"},
+		{"known plus unknown", "series=condense_groups,no_such_series", http.StatusBadRequest, "no_such_series"},
+		{"two unknown", "series=nope_a,nope_b", http.StatusBadRequest, "nope_a, nope_b"},
+		{"label block on wrong family", `series=condense_groups{shard="0"}`, http.StatusBadRequest, "condense_groups{"},
+		{"empty selector list", "series=", http.StatusOK, ""},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Get(o.ts.URL + "/v1/history?" + (&url.Values{}).Encode() + rawQuery(tc.query))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d\n%s", resp.StatusCode, tc.status, body)
+			}
+			if tc.status == http.StatusBadRequest {
+				var env errorResponse
+				if err := json.Unmarshal(body, &env); err != nil {
+					t.Fatal(err)
+				}
+				if !strings.Contains(env.Error, "unknown series selector") ||
+					!strings.Contains(env.Error, tc.wantErr) {
+					t.Fatalf("error %q does not name %q", env.Error, tc.wantErr)
+				}
+			}
+		})
+	}
+}
+
+// rawQuery percent-encodes just the selector value of a "series=..."
+// query so labelled ids (quotes, braces) survive the URL.
+func rawQuery(q string) string {
+	k, v, _ := strings.Cut(q, "=")
+	return k + "=" + url.QueryEscape(v)
 }
 
 // TestObservabilityDisabled: without a recorder/watchdog the new

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"strings"
 	"testing"
 
 	"condensation/internal/telemetry"
@@ -314,4 +315,54 @@ func TestAuditMemoized(t *testing.T) {
 	if rep3 == rep1 {
 		t.Error("audit not recomputed after a write")
 	}
+}
+
+// FuzzEtagMatch fuzzes the If-None-Match comparison against the
+// invariants RFC 9110 §13.1.2 pins down, seeded with the conditional-GET
+// cases TestCheckpointETag drives over HTTP.
+func FuzzEtagMatch(f *testing.F) {
+	etag := `"42"`
+	for _, seed := range [][2]string{
+		{etag, etag},             // exact match
+		{"*", etag},              // wildcard
+		{`"zzz", ` + etag, etag}, // list member
+		{"W/" + etag, etag},      // weak comparison
+		{`"not-it"`, etag},       // no match
+		{"", etag},               // empty header
+		{" W/\"a\" , \"b\"", `"b"`},
+		{`"a,b"`, `"a,b"`}, // comma inside the opaque tag
+		{"W/", "W/"},
+	} {
+		f.Add(seed[0], seed[1])
+	}
+	f.Fuzz(func(t *testing.T, header, etag string) {
+		got := etagMatch(header, etag)
+
+		// An empty header never matches anything.
+		if header == "" && got {
+			t.Fatalf("etagMatch(%q, %q) = true for an empty header", header, etag)
+		}
+		// A lone "*" matches every representation.
+		if header == "*" && !got {
+			t.Fatalf("etagMatch(*, %q) = false", etag)
+		}
+		// Self-match: a comma-free, space-trimmed tag always matches a
+		// header consisting of exactly itself (weak comparison makes W/
+		// prefixes irrelevant).
+		if etag != "" && !strings.Contains(etag, ",") && strings.TrimSpace(etag) == etag {
+			if !etagMatch(etag, etag) {
+				t.Fatalf("etagMatch(%q, %q) = false for self", etag, etag)
+			}
+		}
+		// Weak comparison ignores one W/ prefix on the etag: adding it to
+		// an unprefixed tag never changes the verdict.
+		if !strings.HasPrefix(etag, "W/") && got != etagMatch(header, "W/"+etag) {
+			t.Fatalf("etagMatch(%q, %q) != etagMatch(%q, W/%q)", header, etag, header, etag)
+		}
+		// Appending a list member never un-matches an already matching
+		// header.
+		if got && !etagMatch(header+`, "other"`, etag) {
+			t.Fatalf("appending a member to %q lost the match on %q", header, etag)
+		}
+	})
 }

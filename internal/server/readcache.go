@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"strconv"
 	"sync"
 
@@ -54,6 +55,11 @@ type readCache struct {
 	// valid distinguishes "empty cache" from "cache at generation 0" —
 	// a freshly constructed engine legitimately serves generation 0.
 	valid bool
+	// jr, when set, records one cache_invalidation journal event each time
+	// a generation step drops prepared artifacts. The journal has its own
+	// lock and never calls back into the cache, so recording under mu is
+	// safe.
+	jr *telemetry.Journal
 
 	checkpoint   *respBody
 	statsMerged  *respBody
@@ -87,6 +93,14 @@ type auditEntry struct {
 // caller must neither read nor store. Caller holds mu.
 func (c *readCache) step(gen uint64) bool {
 	if !c.valid || gen > c.gen {
+		if c.jr != nil && c.valid && gen > c.gen && c.holdsArtifacts() {
+			c.jr.Record(telemetry.JournalEvent{
+				Type:       telemetry.EventCacheInvalidation,
+				Shard:      telemetry.JournalShardNone,
+				Generation: gen,
+				Detail:     fmt.Sprintf("read cache dropped generation %d artifacts (engine at %d)", c.gen, gen),
+			})
+		}
 		c.gen, c.valid = gen, true
 		c.checkpoint = nil
 		c.statsMerged = nil
@@ -96,6 +110,13 @@ func (c *readCache) step(gen uint64) bool {
 		return true
 	}
 	return gen == c.gen
+}
+
+// holdsArtifacts reports whether any prepared artifact is cached — an
+// invalidation that drops nothing is not worth a journal entry.
+func (c *readCache) holdsArtifacts() bool {
+	return c.checkpoint != nil || c.statsMerged != nil || c.statsByShard != nil ||
+		len(c.snapshots) > 0 || c.audits != nil
 }
 
 // checkpointAt returns the prepared checkpoint for generation gen, if

@@ -14,15 +14,22 @@
 //	GET  /v1/checkpoint                               binary condensation state (octet-stream)
 //	GET  /v1/history    ?last=N&series=a,b            flight-recorder windows (when recording on)
 //	GET  /v1/health/rules                             watchdog rule states (when watchdog on)
+//	GET  /v1/events     ?last=N&type=a,b              group-lifecycle journal (when journal on)
+//	GET  /v1/groups                                   per-group lifecycle summaries
+//	GET  /v1/groups/{id}                              one group's diagnostics detail
+//	POST /v1/explain    {"record": [...], "top": M}   routing dry-run, side-effect-free
 //	GET  /healthz                                     build info, uptime, live counts, health state
 //	GET  /metrics                                     Prometheus text exposition
 //	GET  /debug/vars                                  expvar-style JSON metrics
 //	GET  /debug/trace   ?last=N                       Chrome trace-event JSON (when tracing on)
+//	GET  /debug/bundle                                one-shot diagnostics tar.gz
 //
 // Every endpoint runs behind telemetry middleware recording request
 // counts, an in-flight gauge, status-class counters, and a latency
-// histogram per endpoint. Error responses use one JSON envelope:
-// {"error": "..."}.
+// histogram per endpoint, and behind request-ID middleware: a client's
+// X-Request-ID is accepted (or one is minted), echoed on the response,
+// attached to trace spans, and stamped into error envelopes. Error
+// responses use one JSON envelope: {"error": "...", "request_id": "..."}.
 package server
 
 import (
@@ -39,6 +46,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"condensation/internal/audit"
@@ -117,6 +125,12 @@ type Config struct {
 	// /v1/health/rules and folds its overall severity into /healthz. Nil
 	// disables the endpoint and leaves /healthz always "ok".
 	Watchdog *telemetry.Watchdog
+	// Journal optionally attaches a group-lifecycle journal: the engine
+	// records foundings/splits/rebuilds into it, the read cache records
+	// invalidations, the watchdog records rule transitions, and the server
+	// serves the ring from /v1/events. Nil disables the endpoint (404) and
+	// all recording, like a nil Tracer does /debug/trace.
+	Journal *telemetry.Journal
 }
 
 // defaultAuditSample is the reservoir capacity when Config.AuditSample is 0.
@@ -144,6 +158,14 @@ type Server struct {
 	tr       *telemetry.Tracer
 	rec      *telemetry.Recorder
 	wd       *telemetry.Watchdog
+	jr       *telemetry.Journal
+
+	// Request-ID minting state: a per-process prefix plus an atomic
+	// counter, so a minted id is one AppendUint into a stack buffer — the
+	// read hot path budgets two allocations for the whole middleware (the
+	// id string and its header slice).
+	reqPrefix string
+	reqSeq    atomic.Uint64
 
 	// Derived gauges refreshed by collect(): uptime always; the per-shard
 	// load family and imbalance ratio only at NumShards ≥ 2.
@@ -218,6 +240,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	eng.SetTelemetry(reg)
 	eng.SetTracer(cfg.Tracer)
+	eng.SetJournal(cfg.Journal)
 	sampleCap := cfg.AuditSample
 	if sampleCap == 0 {
 		sampleCap = defaultAuditSample
@@ -243,9 +266,15 @@ func New(cfg Config) (*Server, error) {
 		tr:        cfg.Tracer,
 		rec:       cfg.Recorder,
 		wd:        cfg.Watchdog,
+		jr:        cfg.Journal,
 		reservoir: audit.NewReservoir(sampleCap, auditSeed),
 		auditSeed: auditSeed,
 	}
+	s.reqPrefix = "r" + strconv.FormatInt(time.Now().UnixNano(), 36) + "-"
+	s.cache.jr = cfg.Journal
+	// The watchdog stamps its rule-transition journal events with the
+	// engine generation they were observed at.
+	s.wd.SetJournal(cfg.Journal, eng.Generation)
 	s.buildRevision, s.buildTime = buildVCS()
 	s.cmSnapshot = newCacheMetrics(reg, "synthesis")
 	s.cmStats = newCacheMetrics(reg, "stats")
@@ -262,10 +291,18 @@ func New(cfg Config) (*Server, error) {
 	s.route("/v1/checkpoint", s.handleCheckpoint)
 	s.route("/v1/history", s.handleHistory)
 	s.route("/v1/health/rules", s.handleHealthRules)
+	s.route("/v1/events", s.handleEvents)
+	// The exact path lists all groups; the subtree serves one group by id.
+	// Both register one route-table pattern each, so metric cardinality
+	// stays bounded by the table, never by how many group ids clients probe.
+	s.route("/v1/groups", s.handleGroups)
+	s.route("/v1/groups/", s.handleGroupByID)
+	s.route("/v1/explain", s.handleExplain)
 	s.route("/healthz", s.handleHealth)
 	s.route("/metrics", s.handleMetrics)
 	s.route("/debug/vars", s.handleVars)
 	s.route("/debug/trace", s.handleTrace)
+	s.route("/debug/bundle", s.handleBundle)
 	return s, nil
 }
 
@@ -327,11 +364,22 @@ func (s *Server) route(path string, h http.HandlerFunc) {
 		t0 := time.Now()
 		s.inFlight.Add(1)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		// Request-ID correlation: accept the client's X-Request-ID or mint
+		// one, and echo it on the response up front. Handlers, error
+		// envelopes, and log lines read it back from the response header —
+		// never from a request context, which would cost a context and
+		// request copy on the read hot path.
+		id := r.Header.Get("X-Request-ID")
+		if !validRequestID(id) {
+			id = s.mintRequestID()
+		}
+		sw.Header()["X-Request-Id"] = []string{id}
 		// The request span is the root of this request's trace tree; the
 		// span-carrying context flows into the handler so engine spans
 		// (dynamic.add_batch and children) nest under it.
 		ctx, span := s.tr.Start(r.Context(), spanName)
 		if span != nil {
+			span.SetAttr("request_id", id)
 			r = r.WithContext(ctx)
 		}
 		// Deferred so a panicking handler (recovered per-connection by
@@ -352,6 +400,39 @@ func (s *Server) route(path string, h http.HandlerFunc) {
 		}()
 		h(sw, r)
 	})
+}
+
+// validRequestID reports whether a client-supplied X-Request-ID is safe to
+// echo: non-empty, bounded, and visible ASCII only (no header injection,
+// no control characters in log lines).
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= 0x20 || id[i] >= 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// mintRequestID generates a process-unique request id: the per-process
+// prefix plus an atomic sequence number, rendered into a stack buffer so
+// minting costs exactly one allocation (the returned string).
+func (s *Server) mintRequestID() string {
+	var buf [32]byte
+	b := append(buf[:0], s.reqPrefix...)
+	b = strconv.AppendUint(b, s.reqSeq.Add(1), 36)
+	return string(b)
+}
+
+// requestID reads back the id the middleware stamped on this response.
+func requestID(w http.ResponseWriter) string {
+	if v := w.Header()["X-Request-Id"]; len(v) > 0 {
+		return v[0]
+	}
+	return ""
 }
 
 // statusWriter captures the response status for the middleware.
@@ -381,9 +462,12 @@ type recordsResponse struct {
 	Splits   int `json:"splits"`
 }
 
-// errorResponse is the uniform error body.
+// errorResponse is the uniform error body. RequestID carries the
+// correlation id the middleware stamped on the response, so a client
+// reporting a failure can quote the id a trace span or log line carries.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Shared Content-Type header values for prepared-body responses. Header
@@ -424,7 +508,7 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	writeJSON(w, status, errorResponse{Error: err.Error(), RequestID: requestID(w)})
 }
 
 func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
@@ -479,6 +563,7 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	splits := s.eng.Splits()
 	s.unlock()
 	s.log.Debug("ingested batch",
+		slog.String("request_id", requestID(w)),
 		slog.Int("records", len(records)),
 		slog.Int("groups", groups),
 		slog.Duration("elapsed", time.Since(t0)),
@@ -877,12 +962,9 @@ func buildVCS() (revision, vcsTime string) {
 	return revision, vcsTime
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
-		return
-	}
+// healthSnapshot assembles the /healthz body and its HTTP status — shared
+// by the probe handler and the diagnostics bundle.
+func (s *Server) healthSnapshot() (healthResponse, int) {
 	s.rlock()
 	groups := s.eng.NumGroups()
 	records := s.eng.TotalCount()
@@ -895,7 +977,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if sev == telemetry.SevFailing {
 		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, status, healthResponse{
+	return healthResponse{
 		Status:        sev.String(),
 		GoVersion:     runtime.Version(),
 		VCSRevision:   s.buildRevision,
@@ -907,7 +989,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Groups:        groups,
 		Records:       records,
 		Generation:    s.eng.Generation(),
-	})
+	}, status
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	resp, status := s.healthSnapshot()
+	writeJSON(w, status, resp)
 }
 
 // uptimeSeconds is the seconds since construction — the value /healthz

@@ -114,6 +114,11 @@ type Watchdog struct {
 	ruleStates []*Gauge
 	state      *Gauge
 	evals      *Counter
+
+	// jr, when set, receives one watchdog_transition event per rule state
+	// change; genFn supplies the engine generation to stamp it with.
+	jr    *Journal
+	genFn func() uint64
 }
 
 // NewWatchdog builds a watchdog over the given rules, resolving its alert
@@ -146,6 +151,20 @@ func NewWatchdog(reg *Registry, log *slog.Logger, rules ...Rule) *Watchdog {
 	}
 	w.state.Set(0)
 	return w
+}
+
+// SetJournal attaches a lifecycle journal: every rule state transition is
+// then also recorded as a watchdog_transition event, stamped with the
+// generation gen reports at transition time (nil gen stamps 0), so health
+// flaps line up with the group-lifecycle timeline. A nil journal disables.
+// Observe-only, like the transition log lines.
+func (w *Watchdog) SetJournal(j *Journal, gen func() uint64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.jr, w.genFn = j, gen
+	w.mu.Unlock()
 }
 
 // Evaluate runs every rule against the recorder's current windows,
@@ -187,6 +206,18 @@ func (w *Watchdog) Evaluate(rec *Recorder) Severity {
 				slog.String("from", from.String()),
 				slog.String("to", sev.String()),
 				slog.String("detail", detail))
+			if w.jr != nil {
+				var gen uint64
+				if w.genFn != nil {
+					gen = w.genFn()
+				}
+				w.jr.Record(JournalEvent{
+					Type:       EventWatchdogTransition,
+					Shard:      JournalShardNone,
+					Generation: gen,
+					Detail:     fmt.Sprintf("%s: %s → %s (%s)", r.Name, from, sev, detail),
+				})
+			}
 		}
 		if sev > overall {
 			overall = sev
